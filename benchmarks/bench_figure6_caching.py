@@ -1,0 +1,45 @@
+"""Figure 6, panels (g)-(i): cost with source failure, with caching.
+
+Caching zeroes the cost of repeated source operations, so a plan's
+utility *rises* as related plans execute: utility-diminishing returns
+fails and Streamer is not applicable (paper, Section 6).  The paper
+reports iDrips "performs very well compared to PI" here because the
+output-count heuristic stays effective across iterations.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_domain, run_cell
+
+ALGORITHMS = ("PI", "iDrips")
+
+
+@pytest.mark.parametrize("bucket_size", (8, 16))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_panel_g_first_plan(benchmark, algorithm, bucket_size):
+    domain = cached_domain(bucket_size)
+    run_cell(benchmark, domain, "failure+caching", algorithm, k=1)
+
+
+@pytest.mark.parametrize("bucket_size", (8, 16))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_panel_h_tenth_plan(benchmark, algorithm, bucket_size):
+    domain = cached_domain(bucket_size)
+    run_cell(benchmark, domain, "failure+caching", algorithm, k=10)
+
+
+@pytest.mark.parametrize("bucket_size", (6, 10))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_panel_i_hundredth_plan(benchmark, algorithm, bucket_size):
+    domain = cached_domain(bucket_size)
+    run_cell(benchmark, domain, "failure+caching", algorithm, k=100)
+
+
+def test_streamer_not_applicable_with_caching():
+    """The applicability guard itself is part of the reproduction."""
+    from repro.errors import NotApplicableError
+    from repro.ordering.streamer import StreamerOrderer
+
+    domain = cached_domain(6)
+    with pytest.raises(NotApplicableError):
+        StreamerOrderer(domain.failure_cost(caching=True))

@@ -1,0 +1,35 @@
+"""Figure 6, panels (a)-(c): plan coverage.
+
+Time to the 1st / 10th / 100th best plan versus bucket size, for PI,
+iDrips, and Streamer.  Expected shape (paper, Section 6): Streamer
+wins clearly at k = 1 and 10; at the 100th plan iDrips loses its edge
+over PI because the abstraction heuristic's groups stop predicting
+*residual* coverage.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_domain, run_cell
+
+ALGORITHMS = ("PI", "iDrips", "Streamer")
+
+
+@pytest.mark.parametrize("bucket_size", (8, 16))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_panel_a_first_plan(benchmark, algorithm, bucket_size):
+    domain = cached_domain(bucket_size)
+    run_cell(benchmark, domain, "coverage", algorithm, k=1)
+
+
+@pytest.mark.parametrize("bucket_size", (8, 16))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_panel_b_tenth_plan(benchmark, algorithm, bucket_size):
+    domain = cached_domain(bucket_size)
+    run_cell(benchmark, domain, "coverage", algorithm, k=10)
+
+
+@pytest.mark.parametrize("bucket_size", (6, 10))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_panel_c_hundredth_plan(benchmark, algorithm, bucket_size):
+    domain = cached_domain(bucket_size)
+    run_cell(benchmark, domain, "coverage", algorithm, k=100)

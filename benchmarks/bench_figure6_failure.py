@@ -1,0 +1,33 @@
+"""Figure 6, panels (d)-(f): cost with source failure, no caching.
+
+Full plan independence holds (the measure is context-free), so
+Streamer applies and — per the paper — "performs substantially better
+than iDrips and PI, and finds the first several plans very fast".
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_domain, run_cell
+
+ALGORITHMS = ("PI", "iDrips", "Streamer")
+
+
+@pytest.mark.parametrize("bucket_size", (8, 16))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_panel_d_first_plan(benchmark, algorithm, bucket_size):
+    domain = cached_domain(bucket_size)
+    run_cell(benchmark, domain, "failure", algorithm, k=1)
+
+
+@pytest.mark.parametrize("bucket_size", (8, 16))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_panel_e_tenth_plan(benchmark, algorithm, bucket_size):
+    domain = cached_domain(bucket_size)
+    run_cell(benchmark, domain, "failure", algorithm, k=10)
+
+
+@pytest.mark.parametrize("bucket_size", (6, 10))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_panel_f_hundredth_plan(benchmark, algorithm, bucket_size):
+    domain = cached_domain(bucket_size)
+    run_cell(benchmark, domain, "failure", algorithm, k=100)

@@ -1,0 +1,42 @@
+"""Figure 6, panels (j)-(l): average monetary cost per output tuple.
+
+Fees are uncorrelated with the output-count grouping, so the
+abstraction heuristic yields wide intervals and prunes little: the
+paper reports that "both Streamer and iDrips perform worse than PI in
+finding the first several plans" — the abstraction machinery's
+overhead outweighs its small evaluation savings.  Both the no-caching
+and the caching variants are run, as in the paper.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_domain, run_cell
+
+CASES = (
+    ("PI", "monetary"),
+    ("iDrips", "monetary"),
+    ("Streamer", "monetary"),
+    ("PI", "monetary+caching"),
+    ("iDrips", "monetary+caching"),
+)
+
+
+@pytest.mark.parametrize("bucket_size", (8, 16))
+@pytest.mark.parametrize("algorithm,measure", CASES)
+def test_panel_j_first_plan(benchmark, algorithm, measure, bucket_size):
+    domain = cached_domain(bucket_size)
+    run_cell(benchmark, domain, measure, algorithm, k=1)
+
+
+@pytest.mark.parametrize("bucket_size", (8, 16))
+@pytest.mark.parametrize("algorithm,measure", CASES)
+def test_panel_k_tenth_plan(benchmark, algorithm, measure, bucket_size):
+    domain = cached_domain(bucket_size)
+    run_cell(benchmark, domain, measure, algorithm, k=10)
+
+
+@pytest.mark.parametrize("bucket_size", (6, 10))
+@pytest.mark.parametrize("algorithm,measure", CASES)
+def test_panel_l_hundredth_plan(benchmark, algorithm, measure, bucket_size):
+    domain = cached_domain(bucket_size)
+    run_cell(benchmark, domain, measure, algorithm, k=100)

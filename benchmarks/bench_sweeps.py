@@ -1,0 +1,62 @@
+"""The paper's in-text sweeps (Section 6).
+
+* Overlap rate: "Streamer's relative performance compared to PI in
+  finding subsequent plans decreases as the degree of plan
+  independence decreases (i.e., as the overlap rate increases)".
+* Query length: "we also experimented with varying query length from
+  1 to 7, and observed the same trends, but with increasing
+  performance gaps as the query length increases".
+"""
+
+import pytest
+
+from repro.ordering.bruteforce import PIOrderer
+from repro.ordering.idrips import IDripsOrderer
+from repro.ordering.streamer import StreamerOrderer
+from repro.workloads.synthetic import SyntheticParams, generate_domain
+
+
+@pytest.mark.parametrize("overlap_rate", (0.1, 0.3, 0.5, 0.7))
+@pytest.mark.parametrize("algorithm", ("PI", "Streamer"))
+def test_overlap_sweep(benchmark, algorithm, overlap_rate):
+    domain = generate_domain(
+        SyntheticParams(
+            query_length=3, bucket_size=10, overlap_rate=overlap_rate, seed=1
+        )
+    )
+    make = {"PI": PIOrderer, "Streamer": StreamerOrderer}[algorithm]
+
+    def once():
+        orderer = make(domain.coverage())
+        orderer.order_list(domain.space, 20)
+        return orderer
+
+    orderer = benchmark.pedantic(once, rounds=1, iterations=1)
+    benchmark.extra_info["plans_evaluated"] = orderer.stats.plans_evaluated
+    if algorithm == "Streamer":
+        benchmark.extra_info["links_recycled"] = orderer.stats.links_recycled
+        benchmark.extra_info["links_invalidated"] = (
+            orderer.stats.links_invalidated
+        )
+
+
+@pytest.mark.parametrize("query_length", (1, 2, 3, 4, 5))
+@pytest.mark.parametrize("algorithm", ("PI", "iDrips", "Streamer"))
+def test_query_length_sweep(benchmark, algorithm, query_length):
+    domain = generate_domain(
+        SyntheticParams(query_length=query_length, bucket_size=8, seed=1)
+    )
+    make = {
+        "PI": PIOrderer,
+        "iDrips": IDripsOrderer,
+        "Streamer": StreamerOrderer,
+    }[algorithm]
+
+    def once():
+        orderer = make(domain.failure_cost())
+        orderer.order_list(domain.space, 10)
+        return orderer
+
+    orderer = benchmark.pedantic(once, rounds=1, iterations=1)
+    benchmark.extra_info["plans_evaluated"] = orderer.stats.plans_evaluated
+    benchmark.extra_info["space_size"] = domain.space.size

@@ -1,0 +1,76 @@
+"""Shared helpers for the Figure 6 benchmark suite.
+
+Every benchmark times one (algorithm, bucket size, k) cell of a panel:
+the time from query issue until the k-th best plan, bucket
+construction excluded (it is identical for all algorithms — paper,
+Section 6).  Domains are generated once per parameter set and cached.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+from repro.ordering.bruteforce import ExhaustiveOrderer, PIOrderer
+from repro.ordering.idrips import IDripsOrderer
+from repro.ordering.streamer import StreamerOrderer
+from repro.workloads.synthetic import SyntheticDomain, SyntheticParams, generate_domain
+
+
+@lru_cache(maxsize=64)
+def cached_domain(
+    bucket_size: int,
+    query_length: int = 3,
+    overlap_rate: float = 0.3,
+    seed: int = 0,
+) -> SyntheticDomain:
+    return generate_domain(
+        SyntheticParams(
+            query_length=query_length,
+            bucket_size=bucket_size,
+            overlap_rate=overlap_rate,
+            seed=seed,
+        )
+    )
+
+
+MEASURES = {
+    "coverage": lambda d: d.coverage(),
+    "failure": lambda d: d.failure_cost(caching=False),
+    "failure+caching": lambda d: d.failure_cost(caching=True),
+    "monetary": lambda d: d.monetary(caching=False),
+    "monetary+caching": lambda d: d.monetary(caching=True),
+    "linear": lambda d: d.linear_cost(),
+}
+
+ORDERERS = {
+    "PI": PIOrderer,
+    "iDrips": IDripsOrderer,
+    "Streamer": StreamerOrderer,
+    "Exhaustive": ExhaustiveOrderer,
+}
+
+
+def run_cell(benchmark, domain: SyntheticDomain, measure_name: str, algorithm: str, k: int):
+    """Benchmark one panel cell and attach the evaluation counters."""
+    make_measure = MEASURES[measure_name]
+    make_orderer = ORDERERS[algorithm]
+    holder = {}
+
+    def once():
+        orderer = make_orderer(make_measure(domain))
+        results = orderer.order_list(domain.space, k)
+        holder["orderer"] = orderer
+        holder["returned"] = len(results)
+        return results
+
+    benchmark.pedantic(once, rounds=1, iterations=1, warmup_rounds=0)
+    orderer = holder["orderer"]
+    benchmark.extra_info["plans_evaluated"] = orderer.stats.plans_evaluated
+    benchmark.extra_info["first_plan_evaluations"] = (
+        orderer.stats.first_plan_evaluations
+    )
+    benchmark.extra_info["plans_returned"] = holder["returned"]
+    benchmark.extra_info["space_size"] = domain.space.size
+    assert holder["returned"] == min(k, domain.space.size)

@@ -1,0 +1,65 @@
+"""Quickstart: the paper's movie example, end to end.
+
+Builds the Figure 1 catalog (six movie sources described as views over
+a mediated schema), asks for reviews of movies starring Harrison Ford,
+and lets the mediator stream answers plan-by-plan in decreasing
+utility order.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    GreedyOrderer,
+    LinearCost,
+    Mediator,
+    build_buckets,
+    movie_domain,
+)
+
+
+def main() -> None:
+    domain = movie_domain()
+    print("Mediated schema and sources (paper, Figure 1):")
+    print(domain.catalog)
+    print()
+    print(f"User query: {domain.query}")
+    print()
+
+    # Reformulation: one bucket per subgoal.
+    space = build_buckets(domain.query, domain.catalog)
+    for bucket in space.buckets:
+        names = ", ".join(s.name for s in bucket.sources)
+        print(f"  bucket {bucket.index} ({bucket.subgoal}): {{{names}}}")
+    print(f"  plan space: {space.size} candidate plans")
+    print()
+
+    # The cost measure (1) of Section 3 is fully monotonic, so the
+    # Greedy algorithm of Section 4 orders plans exactly.
+    utility = LinearCost(access_overhead=1.0)
+    mediator = Mediator(domain.catalog, domain.source_facts)
+    orderer = GreedyOrderer(utility)
+
+    print("Answers, cheapest plans first:")
+    total = set()
+    for batch in mediator.answer(domain.query, utility, orderer=orderer):
+        status = "sound" if batch.sound else "unsound (discarded)"
+        print(
+            f"  #{batch.rank} plan {batch.plan} "
+            f"utility={batch.utility:.1f} [{status}]"
+        )
+        for movie, review in sorted(batch.new_answers):
+            print(f"       new answer: {movie!r} -> {review!r}")
+        total.update(batch.new_answers)
+    print()
+    print(f"{len(total)} distinct answers in total.")
+
+    # Sanity: the plan-by-plan union equals the certain answers
+    # computed by the independent inverse-rules pipeline.
+    assert total == mediator.certain_answers(domain.query)
+    print("Matches the inverse-rules certain answers. ✓")
+
+
+if __name__ == "__main__":
+    main()

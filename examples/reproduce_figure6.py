@@ -1,0 +1,26 @@
+"""Reproduce a slice of the paper's Figure 6 from the public API.
+
+Runs panels (a), (d), (g) and (j) — one per utility measure, k = 1 —
+at small bucket sizes and prints the time/evaluation tables.  For the
+full twelve panels and the in-text sweeps use the experiment CLI::
+
+    python -m repro.experiments.figure6 --quick
+
+Run with::
+
+    python examples/reproduce_figure6.py
+"""
+
+from repro.experiments.figure6 import PANELS
+from repro.experiments.harness import run_panel
+
+
+def main() -> None:
+    for panel_id in ("a", "d", "g", "j"):
+        result = run_panel(PANELS[panel_id], bucket_sizes=(4, 8, 12))
+        print(result.format_table())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Run the Figure 1 movie mediation end to end and print the streamed
+    answer batches.
+``order``
+    Order a synthetic domain's plans with a chosen algorithm and
+    utility measure; prints the ordering and the evaluation counters.
+``experiments``
+    The Figure 6 panel tables (forwards to
+    :mod:`repro.experiments.figure6`).
+``report``
+    Markdown result report (forwards to
+    :mod:`repro.experiments.report`).
+``simulate``
+    Order a synthetic domain by expected cost, then execute the plans
+    on the virtual-clock simulator, best-first versus worst-first.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import __version__
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.execution.mediator import Mediator
+    from repro.ordering.greedy import GreedyOrderer
+    from repro.utility.cost import LinearCost
+    from repro.workloads.movies import movie_domain
+
+    domain = movie_domain()
+    print(f"Query: {domain.query}")
+    mediator = Mediator(domain.catalog, domain.source_facts)
+    utility = LinearCost()
+    for batch in mediator.answer(domain.query, utility, orderer=GreedyOrderer(utility)):
+        flag = "+" if batch.sound else "-"
+        print(f"{flag} #{batch.rank} {batch.plan} u={batch.utility:.1f}")
+        for row in sorted(batch.new_answers):
+            print(f"    {row}")
+    return 0
+
+
+def _make_orderer(name: str, utility):
+    from repro.ordering.bruteforce import ExhaustiveOrderer, PIOrderer
+    from repro.ordering.greedy import GreedyOrderer
+    from repro.ordering.idrips import IDripsOrderer
+    from repro.ordering.streamer import StreamerOrderer
+
+    table = {
+        "pi": PIOrderer,
+        "exhaustive": ExhaustiveOrderer,
+        "idrips": IDripsOrderer,
+        "streamer": StreamerOrderer,
+        "greedy": GreedyOrderer,
+    }
+    return table[name](utility)
+
+
+def _make_measure(name: str, domain):
+    table = {
+        "coverage": lambda: domain.coverage(),
+        "linear": lambda: domain.linear_cost(),
+        "bind-join": lambda: domain.bind_join_cost(),
+        "failure": lambda: domain.failure_cost(),
+        "failure-caching": lambda: domain.failure_cost(caching=True),
+        "monetary": lambda: domain.monetary(),
+        "monetary-caching": lambda: domain.monetary(caching=True),
+    }
+    return table[name]()
+
+
+def _cmd_order(args: argparse.Namespace) -> int:
+    from repro.workloads.synthetic import SyntheticParams, generate_domain
+
+    domain = generate_domain(
+        SyntheticParams(
+            query_length=args.query_length,
+            bucket_size=args.bucket_size,
+            overlap_rate=args.overlap,
+            seed=args.seed,
+        )
+    )
+    utility = _make_measure(args.measure, domain)
+    orderer = _make_orderer(args.algorithm, utility)
+    print(
+        f"Ordering {domain.space.size} plans with {orderer.name} "
+        f"under {utility.name}:"
+    )
+    for entry in orderer.order(domain.space, args.k):
+        print(f"  #{entry.rank:3d} {entry.plan} u={entry.utility:.6g}")
+    for key, value in orderer.stats.as_dict().items():
+        if value:
+            print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.execution.simulator import ExecutionSimulator
+    from repro.ordering.bruteforce import PIOrderer
+    from repro.workloads.synthetic import SyntheticParams, generate_domain
+
+    domain = generate_domain(
+        SyntheticParams(
+            query_length=args.query_length,
+            bucket_size=args.bucket_size,
+            seed=args.seed,
+        )
+    )
+    utility = domain.failure_cost()
+    ordered = [
+        entry.plan
+        for entry in PIOrderer(utility).order(domain.space, args.k)
+    ]
+    simulator = ExecutionSimulator(
+        access_overhead=1.0, domain_sizes=domain.domain_sizes, seed=args.seed
+    )
+    best_first = simulator.run_ordering(ordered)
+    simulator.reset(seed=args.seed)
+    worst_first = simulator.run_ordering(list(reversed(ordered)))
+    print(f"{args.k} plans executed on the virtual clock:")
+    print(
+        f"  best-first : first answer at t={best_first.time_to_first_success:.1f}, "
+        f"all done at t={best_first.total_time:.1f}"
+    )
+    print(
+        f"  worst-first: first answer at t={worst_first.time_to_first_success:.1f}, "
+        f"all done at t={worst_first.total_time:.1f}"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # Forwarded subcommands take their own option sets; hand the tail
+    # over verbatim (argparse.REMAINDER chokes on leading options).
+    if argv and argv[0] == "experiments":
+        from repro.experiments.figure6 import main as fig_main
+
+        return fig_main(argv[1:])
+    if argv and argv[0] == "report":
+        from repro.experiments.report import main as report_main
+
+        return report_main(argv[1:])
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Plan ordering for data integration (Doan & Halevy, ICDE 2002)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="movie-domain mediation demo")
+
+    order = sub.add_parser("order", help="order a synthetic domain's plans")
+    order.add_argument("--algorithm", default="streamer",
+                       choices=("pi", "exhaustive", "idrips", "streamer", "greedy"))
+    order.add_argument("--measure", default="coverage",
+                       choices=("coverage", "linear", "bind-join", "failure",
+                                "failure-caching", "monetary", "monetary-caching"))
+    order.add_argument("--bucket-size", type=int, default=8)
+    order.add_argument("--query-length", type=int, default=3)
+    order.add_argument("--overlap", type=float, default=0.3)
+    order.add_argument("--seed", type=int, default=0)
+    order.add_argument("-k", type=int, default=5)
+
+    sub.add_parser("experiments", help="Figure 6 tables (forwarded)")
+    sub.add_parser("report", help="markdown result report (forwarded)")
+
+    simulate = sub.add_parser("simulate", help="virtual-clock execution demo")
+    simulate.add_argument("--bucket-size", type=int, default=8)
+    simulate.add_argument("--query-length", type=int, default=3)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("-k", type=int, default=10)
+
+    args = parser.parse_args(argv)
+    if args.command == "demo":
+        return _cmd_demo(args)
+    if args.command == "order":
+        return _cmd_order(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,174 @@
+"""A small parser for datalog text.
+
+The grammar follows the notation of the paper::
+
+    query    :=  atom ":-" atom ("," atom)*
+    atom     :=  IDENT "(" term ("," term)* ")"
+    term     :=  VARIABLE | CONSTANT
+    VARIABLE :=  identifier starting with an upper-case letter or "_"
+    CONSTANT :=  quoted string, number, or identifier starting lower-case
+
+Examples::
+
+    parse_query('q(M, R) :- play_in("ford", M), review_of(R, M)')
+    parse_atom("play_in(A, M)")
+
+Identifiers starting with a lower-case letter in argument position are
+treated as symbolic constants (datalog convention), so the paper's
+``play-in(Ford, M)`` can be written ``play_in(ford, M)``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.datalog.program import Program, Rule
+from repro.datalog.query import ConjunctiveQuery
+from repro.datalog.terms import Atom, Constant, FunctionTerm, Term, Variable
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<implied>:-)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<comma>,)
+  | (?P<period>\.)
+  | (?P<string>"[^"]*"|'[^']*')
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_\-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append((kind, match.group()))  # type: ignore[arg-type]
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def expect(self, kind: str) -> str:
+        token = self.peek()
+        if token is None or token[0] != kind:
+            found = token[1] if token else "end of input"
+            raise ParseError(f"expected {kind}, found {found!r} in {self.text!r}")
+        self.pos += 1
+        return token[1]
+
+    def accept(self, kind: str) -> bool:
+        token = self.peek()
+        if token is not None and token[0] == kind:
+            self.pos += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    # -- grammar ---------------------------------------------------------------
+
+    def term(self) -> Term:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"expected a term in {self.text!r}")
+        kind, value = token
+        if kind == "string":
+            self.pos += 1
+            return Constant(value[1:-1])
+        if kind == "number":
+            self.pos += 1
+            number = float(value)
+            return Constant(int(number) if number.is_integer() else number)
+        if kind == "ident":
+            self.pos += 1
+            following = self.peek()
+            if following is not None and following[0] == "lpar":
+                # A function (Skolem) term: functor(arg, ...).
+                self.pos += 1
+                args = [self.term()]
+                while self.accept("comma"):
+                    args.append(self.term())
+                self.expect("rpar")
+                return FunctionTerm(value.replace("-", "_"), tuple(args))
+            if value[0].isupper() or value[0] == "_":
+                return Variable(value)
+            return Constant(value)
+        raise ParseError(f"expected a term, found {value!r} in {self.text!r}")
+
+    def atom(self) -> Atom:
+        name = self.expect("ident")
+        self.expect("lpar")
+        args = [self.term()]
+        while self.accept("comma"):
+            args.append(self.term())
+        self.expect("rpar")
+        return Atom(name.replace("-", "_"), tuple(args))
+
+    def rule(self) -> Rule:
+        head = self.atom()
+        self.expect("implied")
+        body = [self.atom()]
+        while self.accept("comma"):
+            body.append(self.atom())
+        self.accept("period")
+        return Rule(head, tuple(body))
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom such as ``play_in(A, M)``."""
+    parser = _Parser(text)
+    atom = parser.atom()
+    if not parser.at_end():
+        raise ParseError(f"trailing tokens after atom in {text!r}")
+    return atom
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single datalog rule ``head :- body``."""
+    parser = _Parser(text)
+    rule = parser.rule()
+    if not parser.at_end():
+        raise ParseError(f"trailing tokens after rule in {text!r}")
+    return rule
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a conjunctive query ``head :- body`` and check safety."""
+    rule = parse_rule(text)
+    query = ConjunctiveQuery(rule.head, rule.body)
+    query.check_safe()
+    return query
+
+
+def parse_program(text: str) -> Program:
+    """Parse a newline- or period-separated list of rules."""
+    rules = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("%") or line.startswith("#"):
+            continue
+        rules.append(parse_rule(line))
+    return Program(tuple(rules))

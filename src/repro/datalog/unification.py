@@ -1,0 +1,147 @@
+"""Unification and one-way matching of terms and atoms.
+
+Two operations are provided:
+
+* :func:`unify_terms` / :func:`unify_atoms` -- full two-way unification
+  producing a most general unifier (MGU).  Used by the bucket algorithm
+  to decide whether a source atom can cover a query subgoal.
+* :func:`match_atom` -- one-way matching of a pattern atom against a
+  ground atom.  Used by the datalog engine when joining subgoals
+  against facts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datalog.terms import (
+    Atom,
+    Constant,
+    FunctionTerm,
+    Term,
+    Variable,
+    substitute_term,
+)
+
+
+def _walk(term: Term, subst: dict[Variable, Term]) -> Term:
+    """Follow variable bindings in *subst* until a non-bound term."""
+    while isinstance(term, Variable) and term in subst:
+        term = subst[term]
+    return term
+
+
+def _occurs(var: Variable, term: Term, subst: dict[Variable, Term]) -> bool:
+    """Occurs check: does *var* appear inside *term* under *subst*?"""
+    term = _walk(term, subst)
+    if term == var:
+        return True
+    if isinstance(term, FunctionTerm):
+        return any(_occurs(var, a, subst) for a in term.args)
+    return False
+
+
+def unify_terms(
+    left: Term, right: Term, subst: Optional[dict[Variable, Term]] = None
+) -> Optional[dict[Variable, Term]]:
+    """Unify two terms, extending *subst*.  Return None on failure.
+
+    The returned substitution is in triangular form; use
+    :func:`resolve` to fully apply it to a term.
+    """
+    if subst is None:
+        subst = {}
+    left = _walk(left, subst)
+    right = _walk(right, subst)
+    if left == right:
+        return subst
+    if isinstance(left, Variable):
+        if _occurs(left, right, subst):
+            return None
+        subst[left] = right
+        return subst
+    if isinstance(right, Variable):
+        if _occurs(right, left, subst):
+            return None
+        subst[right] = left
+        return subst
+    if isinstance(left, Constant) and isinstance(right, Constant):
+        return subst if left.value == right.value else None
+    if isinstance(left, FunctionTerm) and isinstance(right, FunctionTerm):
+        if left.functor != right.functor or len(left.args) != len(right.args):
+            return None
+        for l_arg, r_arg in zip(left.args, right.args):
+            subst = unify_terms(l_arg, r_arg, subst)
+            if subst is None:
+                return None
+        return subst
+    return None
+
+
+def unify_atoms(
+    left: Atom, right: Atom, subst: Optional[dict[Variable, Term]] = None
+) -> Optional[dict[Variable, Term]]:
+    """Unify two atoms predicate-wise; return the extended MGU or None."""
+    if left.predicate != right.predicate or left.arity != right.arity:
+        return None
+    if subst is None:
+        subst = {}
+    for l_arg, r_arg in zip(left.args, right.args):
+        subst = unify_terms(l_arg, r_arg, subst)
+        if subst is None:
+            return None
+    return subst
+
+
+def resolve(term: Term, subst: dict[Variable, Term]) -> Term:
+    """Fully apply a triangular substitution to *term*."""
+    term = _walk(term, subst)
+    if isinstance(term, FunctionTerm):
+        return FunctionTerm(term.functor, tuple(resolve(a, subst) for a in term.args))
+    return term
+
+
+def resolve_atom(atom: Atom, subst: dict[Variable, Term]) -> Atom:
+    """Fully apply a triangular substitution to every argument of *atom*."""
+    return Atom(atom.predicate, tuple(resolve(a, subst) for a in atom.args))
+
+
+def match_atom(
+    pattern: Atom, fact: Atom, subst: Optional[dict[Variable, Term]] = None
+) -> Optional[dict[Variable, Term]]:
+    """One-way match: bind variables of *pattern* so it equals *fact*.
+
+    *fact* must be ground.  Unlike unification, variables occurring in
+    *fact* are treated as errors by construction (facts are ground), so
+    a plain recursive descent suffices.
+    """
+    if pattern.predicate != fact.predicate or pattern.arity != fact.arity:
+        return None
+    if subst is None:
+        subst = {}
+    else:
+        subst = dict(subst)
+    for p_arg, f_arg in zip(pattern.args, fact.args):
+        if not _match_term(p_arg, f_arg, subst):
+            return None
+    return subst
+
+
+def _match_term(pattern: Term, value: Term, subst: dict[Variable, Term]) -> bool:
+    pattern = substitute_term(pattern, subst)
+    if isinstance(pattern, Variable):
+        subst[pattern] = value
+        return True
+    if isinstance(pattern, Constant):
+        return isinstance(value, Constant) and pattern.value == value.value
+    if isinstance(pattern, FunctionTerm):
+        if (
+            not isinstance(value, FunctionTerm)
+            or pattern.functor != value.functor
+            or len(pattern.args) != len(value.args)
+        ):
+            return False
+        return all(
+            _match_term(p, v, subst) for p, v in zip(pattern.args, value.args)
+        )
+    return False

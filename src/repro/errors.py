@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+masking programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DatalogError(ReproError):
+    """Malformed datalog constructs (unsafe rules, bad arities, ...)."""
+
+
+class ParseError(DatalogError):
+    """Raised when datalog text cannot be parsed."""
+
+
+class CatalogError(ReproError):
+    """Inconsistent source catalog (unknown relations, bad stats, ...)."""
+
+
+class ReformulationError(ReproError):
+    """Raised when query reformulation cannot proceed."""
+
+
+class UtilityError(ReproError):
+    """Raised when a utility measure is used outside its contract."""
+
+
+class OrderingError(ReproError):
+    """Raised when a plan orderer is misconfigured or misused."""
+
+
+class NotApplicableError(OrderingError):
+    """An ordering algorithm's preconditions do not hold.
+
+    Examples: Greedy on a utility measure that is not fully monotonic,
+    or Streamer on a measure without utility-diminishing returns.
+    """
+
+
+class ExecutionError(ReproError):
+    """Raised by the plan execution engine and the mediator."""

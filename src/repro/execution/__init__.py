@@ -1,0 +1,29 @@
+"""Plan execution and the end-to-end mediator.
+
+The mediator implements the strategy of the paper's Section 2: plans
+stream out of an ordering algorithm in decreasing utility; each is
+tested for soundness; sound plans are executed against the source
+instances and contribute their new tuples to the answer, unsound plans
+are discarded (and do not count as executed for conditional-utility
+purposes).
+"""
+
+from repro.execution.engine import evaluate_conjunctive_query, execute_plan
+from repro.execution.instances import materialize_instances
+from repro.execution.mediator import AnswerBatch, Mediator
+from repro.execution.simulator import (
+    ExecutionSimulator,
+    PlanRun,
+    SimulationReport,
+)
+
+__all__ = [
+    "AnswerBatch",
+    "ExecutionSimulator",
+    "Mediator",
+    "PlanRun",
+    "SimulationReport",
+    "evaluate_conjunctive_query",
+    "execute_plan",
+    "materialize_instances",
+]

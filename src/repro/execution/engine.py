@@ -1,0 +1,60 @@
+"""Executing conjunctive queries and plans over in-memory relations.
+
+A database is a mapping ``{relation name: set of value tuples}``.
+Query evaluation is a straightforward left-to-right join with early
+pruning, implemented on top of the datalog engine's body evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.errors import ExecutionError
+from repro.datalog.engine import evaluate_rule_body
+from repro.datalog.query import ConjunctiveQuery
+from repro.datalog.terms import Constant, Variable
+from repro.reformulation.plans import QueryPlan
+from repro.reformulation.soundness import plan_query
+
+#: A database maps relation names to sets of value tuples.
+Database = Mapping[str, set[tuple[object, ...]]]
+
+
+def evaluate_conjunctive_query(
+    query: ConjunctiveQuery, database: Database
+) -> set[tuple[object, ...]]:
+    """All answers of *query* over *database*."""
+    answers: set[tuple[object, ...]] = set()
+    for binding in evaluate_rule_body(query.body, database):
+        row = []
+        for arg in query.head.args:
+            if isinstance(arg, Variable):
+                try:
+                    row.append(binding[arg])
+                except KeyError:
+                    raise ExecutionError(
+                        f"unbound head variable {arg} in {query}"
+                    ) from None
+            elif isinstance(arg, Constant):
+                row.append(arg.value)
+            else:
+                row.append(arg)
+        answers.add(tuple(row))
+    return answers
+
+
+def execute_plan(
+    query: ConjunctiveQuery,
+    plan: QueryPlan,
+    source_facts: Database,
+) -> Optional[set[tuple[object, ...]]]:
+    """Execute a plan against the source instances.
+
+    Builds the plan's source-level conjunctive query (which also
+    proves soundness) and evaluates it.  Returns None when the plan is
+    unsound and therefore must not be executed.
+    """
+    executable = plan_query(query, plan)
+    if executable is None:
+        return None
+    return evaluate_conjunctive_query(executable, source_facts)

@@ -1,0 +1,139 @@
+"""The anytime mediator: ordering + soundness + execution (Section 2).
+
+Given a user query, the mediator
+
+1. builds the buckets (reformulation),
+2. streams plans out of a plan-ordering algorithm in decreasing
+   utility,
+3. tests each plan for soundness; unsound plans are thrown away and do
+   *not* count as executed (the ordering algorithm is told via its
+   ``on_emit`` callback),
+4. executes sound plans against the source instances and yields the
+   *new* answer tuples each contributes.
+
+Consumers can stop iterating as soon as they are satisfied — the
+"first answers fast" behaviour the paper optimizes for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Optional
+
+from repro.errors import ExecutionError
+from repro.datalog.query import ConjunctiveQuery
+from repro.execution.engine import evaluate_conjunctive_query
+from repro.ordering.base import PlanOrderer
+from repro.ordering.bruteforce import PIOrderer
+from repro.reformulation.buckets import build_buckets
+from repro.reformulation.inverse_rules import answer_with_inverse_rules
+from repro.reformulation.plans import QueryPlan
+from repro.reformulation.soundness import plan_query
+from repro.sources.catalog import Catalog
+from repro.utility.base import UtilityMeasure
+
+#: Builds an orderer for a utility measure.
+OrdererFactory = Callable[[UtilityMeasure], PlanOrderer]
+
+
+@dataclass(frozen=True)
+class AnswerBatch:
+    """The outcome of processing one plan from the ordering."""
+
+    rank: int
+    plan: QueryPlan
+    utility: float
+    sound: bool
+    answers: frozenset[tuple[object, ...]]
+    new_answers: frozenset[tuple[object, ...]]
+
+    @property
+    def new_count(self) -> int:
+        return len(self.new_answers)
+
+
+class Mediator:
+    """A data-integration system facade over a catalog and instances."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        source_facts: Mapping[str, set[tuple[object, ...]]],
+        orderer_factory: Optional[OrdererFactory] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.source_facts = {
+            name: set(facts) for name, facts in source_facts.items()
+        }
+        self.orderer_factory = orderer_factory or PIOrderer
+
+    def _database(self) -> dict[str, set[tuple[object, ...]]]:
+        return self.source_facts
+
+    def answer(
+        self,
+        query: ConjunctiveQuery,
+        utility: UtilityMeasure,
+        max_plans: Optional[int] = None,
+        orderer: Optional[PlanOrderer] = None,
+    ) -> Iterator[AnswerBatch]:
+        """Stream answer batches, best plans first.
+
+        ``max_plans`` bounds how many plans (sound or not) are pulled
+        from the ordering; by default the whole plan space is drained.
+        """
+        space = build_buckets(query, self.catalog)
+        if orderer is None:
+            orderer = self.orderer_factory(utility)
+        budget = space.size if max_plans is None else min(max_plans, space.size)
+
+        soundness: dict[tuple[str, ...], bool] = {}
+
+        def on_emit(plan: QueryPlan) -> bool:
+            # The mediator loop below has always decided soundness for
+            # this plan before the orderer asks.
+            try:
+                return soundness[plan.key]
+            except KeyError:
+                raise ExecutionError(
+                    f"orderer asked about unprocessed plan {plan}"
+                ) from None
+
+        seen: set[tuple[object, ...]] = set()
+        for ordered in orderer.order(space, budget, on_emit=on_emit):
+            executable = plan_query(query, ordered.plan)
+            sound = executable is not None
+            soundness[ordered.plan.key] = sound
+            if not sound:
+                yield AnswerBatch(
+                    ordered.rank,
+                    ordered.plan,
+                    ordered.utility,
+                    False,
+                    frozenset(),
+                    frozenset(),
+                )
+                continue
+            answers = frozenset(
+                evaluate_conjunctive_query(executable, self._database())
+            )
+            new = frozenset(answers - seen)
+            seen.update(answers)
+            yield AnswerBatch(
+                ordered.rank, ordered.plan, ordered.utility, True, answers, new
+            )
+
+    def answer_all(
+        self,
+        query: ConjunctiveQuery,
+        utility: UtilityMeasure,
+    ) -> set[tuple[object, ...]]:
+        """All answers: the union over every sound plan."""
+        answers: set[tuple[object, ...]] = set()
+        for batch in self.answer(query, utility):
+            answers.update(batch.answers)
+        return answers
+
+    def certain_answers(self, query: ConjunctiveQuery) -> set[tuple[object, ...]]:
+        """Ground truth via inverse rules (independent code path)."""
+        return answer_with_inverse_rules(self.catalog, query, self.source_facts)

@@ -1,0 +1,19 @@
+"""Experiment harness reproducing the paper's evaluation (Section 6).
+
+:mod:`repro.experiments.figure6` defines one panel spec per panel of
+Figure 6 plus the in-text claims; :mod:`repro.experiments.harness`
+runs panels and formats result tables.  Run everything from the
+command line with::
+
+    python -m repro.experiments.figure6 --quick
+"""
+
+from repro.experiments.harness import (
+    AlgorithmSpec,
+    PanelResult,
+    PanelRow,
+    PanelSpec,
+    run_panel,
+)
+
+__all__ = ["AlgorithmSpec", "PanelResult", "PanelRow", "PanelSpec", "run_panel"]

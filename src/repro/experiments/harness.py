@@ -1,0 +1,170 @@
+"""Panel runner: time-to-k-th-plan versus bucket size.
+
+Figure 6 of the paper plots "the time it takes from when the query is
+issued until the first k best plans have been found, against the
+bucket size" — excluding bucket construction, which "takes the same
+time for all three algorithms".  A :class:`PanelSpec` captures one
+panel: the utility measure, k, the algorithms, and the sweep over
+bucket sizes; :func:`run_panel` executes it over one or more seeds and
+returns mean timings plus the evaluation counters.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.ordering.base import PlanOrderer
+from repro.workloads.synthetic import SyntheticDomain, SyntheticParams, generate_domain
+
+#: Builds an orderer (with its utility measure) for a generated domain.
+OrdererBuilder = Callable[[SyntheticDomain], PlanOrderer]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """An algorithm entry of a panel."""
+
+    name: str
+    build: OrdererBuilder
+
+
+@dataclass(frozen=True)
+class PanelSpec:
+    """One panel of the evaluation."""
+
+    panel_id: str
+    title: str
+    k: int
+    algorithms: tuple[AlgorithmSpec, ...]
+    bucket_sizes: tuple[int, ...] = (4, 8, 12, 16)
+    query_length: int = 3
+    overlap_rate: float = 0.3
+    seeds: tuple[int, ...] = (0,)
+    groups_per_bucket: Optional[int] = None
+
+    def domain(self, bucket_size: int, seed: int) -> SyntheticDomain:
+        return generate_domain(
+            SyntheticParams(
+                query_length=self.query_length,
+                bucket_size=bucket_size,
+                overlap_rate=self.overlap_rate,
+                groups_per_bucket=self.groups_per_bucket,
+                seed=seed,
+            )
+        )
+
+
+@dataclass
+class PanelRow:
+    """Mean results for one (algorithm, bucket size) cell."""
+
+    algorithm: str
+    bucket_size: int
+    seconds: float
+    plans_evaluated: float
+    first_plan_evaluations: float
+    plans_returned: int
+
+
+@dataclass
+class PanelResult:
+    """All rows of a panel plus formatting helpers."""
+
+    spec: PanelSpec
+    rows: list[PanelRow] = field(default_factory=list)
+
+    def series(self, algorithm: str) -> list[PanelRow]:
+        return [r for r in self.rows if r.algorithm == algorithm]
+
+    def row(self, algorithm: str, bucket_size: int) -> PanelRow:
+        for candidate in self.rows:
+            if (
+                candidate.algorithm == algorithm
+                and candidate.bucket_size == bucket_size
+            ):
+                return candidate
+        raise KeyError((algorithm, bucket_size))
+
+    def format_table(self) -> str:
+        """An ASCII table in the shape of one Figure 6 panel."""
+        lines = [
+            f"Panel {self.spec.panel_id}: {self.spec.title} "
+            f"(k={self.spec.k}, query length {self.spec.query_length}, "
+            f"overlap {self.spec.overlap_rate})",
+            f"{'bucket':>8} "
+            + " ".join(
+                f"{algo.name + ' [s]':>16}" for algo in self.spec.algorithms
+            )
+            + " "
+            + " ".join(
+                f"{algo.name + ' evals':>16}" for algo in self.spec.algorithms
+            ),
+        ]
+        for bucket_size in self.spec.bucket_sizes:
+            cells_time = []
+            cells_eval = []
+            for algo in self.spec.algorithms:
+                row = self.row(algo.name, bucket_size)
+                cells_time.append(f"{row.seconds:>16.4f}")
+                cells_eval.append(f"{row.plans_evaluated:>16.0f}")
+            lines.append(
+                f"{bucket_size:>8} " + " ".join(cells_time) + " "
+                + " ".join(cells_eval)
+            )
+        return "\n".join(lines)
+
+
+def time_ordering(orderer: PlanOrderer, domain: SyntheticDomain, k: int) -> tuple[float, int]:
+    """Seconds to the k-th plan and the number of plans returned."""
+    start = time.perf_counter()
+    plans = orderer.order_list(domain.space, k)
+    return time.perf_counter() - start, len(plans)
+
+
+def run_panel(
+    spec: PanelSpec,
+    bucket_sizes: Optional[Sequence[int]] = None,
+) -> PanelResult:
+    """Run every (algorithm, bucket size, seed) cell of a panel."""
+    sizes = tuple(bucket_sizes) if bucket_sizes is not None else spec.bucket_sizes
+    result = PanelResult(
+        PanelSpec(
+            spec.panel_id,
+            spec.title,
+            spec.k,
+            spec.algorithms,
+            sizes,
+            spec.query_length,
+            spec.overlap_rate,
+            spec.seeds,
+            spec.groups_per_bucket,
+        )
+    )
+    for bucket_size in sizes:
+        for algo in spec.algorithms:
+            seconds: list[float] = []
+            evaluated: list[float] = []
+            first_evals: list[float] = []
+            returned = 0
+            for seed in spec.seeds:
+                domain = spec.domain(bucket_size, seed)
+                orderer = algo.build(domain)
+                elapsed, count = time_ordering(orderer, domain, spec.k)
+                seconds.append(elapsed)
+                evaluated.append(orderer.stats.plans_evaluated)
+                first_evals.append(orderer.stats.first_plan_evaluations)
+                returned = count
+            result.rows.append(
+                PanelRow(
+                    algorithm=algo.name,
+                    bucket_size=bucket_size,
+                    seconds=statistics.mean(seconds),
+                    plans_evaluated=statistics.mean(evaluated),
+                    first_plan_evaluations=statistics.mean(first_evals),
+                    plans_returned=returned,
+                )
+            )
+    return result

@@ -1,0 +1,110 @@
+"""Markdown report generation for experiment runs.
+
+Turns :class:`~repro.experiments.harness.PanelResult` objects into the
+tables used by EXPERIMENTS.md, so the measured-vs-paper record can be
+regenerated mechanically::
+
+    python -m repro.experiments.report --quick > results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.figure6 import (
+    DEFAULT_SIZES,
+    FULL_SIZES,
+    PANELS,
+    QUICK_SIZES,
+    overlap_sweep_spec,
+    query_length_spec,
+)
+from repro.experiments.harness import PanelResult, run_panel
+
+
+def panel_markdown(result: PanelResult) -> str:
+    """One panel as a GitHub-flavored markdown table."""
+    spec = result.spec
+    lines = [
+        f"### Panel {spec.panel_id}: {spec.title}",
+        "",
+        f"k = {spec.k}, query length {spec.query_length}, "
+        f"overlap rate {spec.overlap_rate}, seeds {list(spec.seeds)}",
+        "",
+    ]
+    header = ["bucket"]
+    for algo in spec.algorithms:
+        header.append(f"{algo.name} (s / evals)")
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "---|" * len(header))
+    for bucket_size in spec.bucket_sizes:
+        cells = [str(bucket_size)]
+        for algo in spec.algorithms:
+            row = result.row(algo.name, bucket_size)
+            cells.append(f"{row.seconds:.4f} / {row.plans_evaluated:.0f}")
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def summary_markdown(results: Sequence[PanelResult]) -> str:
+    """Winner-per-cell summary across panels."""
+    lines = ["## Winners by panel (fastest algorithm per bucket size)", ""]
+    lines.append("| panel | " + " | ".join("size " + str(i) for i in range(len(results[0].spec.bucket_sizes))) + " |")
+    lines.append("|" + "---|" * (1 + len(results[0].spec.bucket_sizes)))
+    for result in results:
+        cells = [result.spec.panel_id]
+        for bucket_size in result.spec.bucket_sizes:
+            best = min(
+                (result.row(a.name, bucket_size) for a in result.spec.algorithms),
+                key=lambda row: row.seconds,
+            )
+            cells.append(best.algorithm)
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def build_report(
+    panel_ids: Sequence[str],
+    bucket_sizes: Sequence[int],
+    include_sweeps: bool = False,
+) -> str:
+    """Run the requested panels and format the full markdown report."""
+    sections = ["# Measured results", ""]
+    results = []
+    for panel_id in panel_ids:
+        result = run_panel(PANELS[panel_id], bucket_sizes=bucket_sizes)
+        results.append(result)
+        sections.append(panel_markdown(result))
+    if results:
+        sections.append(summary_markdown(results))
+    if include_sweeps:
+        sections.append("## Sweeps\n")
+        for rate in (0.1, 0.3, 0.5, 0.7):
+            sections.append(panel_markdown(run_panel(overlap_sweep_spec(rate))))
+        for length in (1, 2, 3, 4):
+            sections.append(panel_markdown(run_panel(query_length_spec(length))))
+    return "\n".join(sections)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--panel", nargs="*", default=sorted(PANELS))
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--full", action="store_true")
+    parser.add_argument("--sweeps", action="store_true")
+    args = parser.parse_args(argv)
+    sizes = DEFAULT_SIZES
+    if args.quick:
+        sizes = QUICK_SIZES
+    if args.full:
+        sizes = FULL_SIZES
+    print(build_report(args.panel, sizes, include_sweeps=args.sweeps))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

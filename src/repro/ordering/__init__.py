@@ -1,0 +1,49 @@
+"""Plan-ordering algorithms (the paper's contribution).
+
+* :class:`~repro.ordering.greedy.GreedyOrderer` -- Section 4, for
+  fully monotonic utility measures.
+* :class:`~repro.ordering.drips.DripsPlanner` -- Section 5.1, finds the
+  single best plan by abstraction (Haddawy, Doan & Goodwin).
+* :class:`~repro.ordering.idrips.IDripsOrderer` -- Section 5.2, iterates
+  Drips with plan-space splitting and per-iteration re-abstraction.
+* :class:`~repro.ordering.streamer.StreamerOrderer` -- Section 5.2 /
+  Figure 5, abstracts once and recycles dominance relations.
+* :class:`~repro.ordering.bruteforce.PIOrderer` -- Section 6's baseline:
+  exact brute force that reuses plan-independence information.
+* :class:`~repro.ordering.bruteforce.ExhaustiveOrderer` -- naive brute
+  force that recomputes everything each iteration (ablation).
+"""
+
+from repro.ordering.abstraction import (
+    AbstractPlan,
+    AbstractSource,
+    AbstractionHeuristic,
+    ExtensionSimilarityHeuristic,
+    OutputCountHeuristic,
+    RandomHeuristic,
+)
+from repro.ordering.base import OrderedPlan, OrderingStats, PlanOrderer
+from repro.ordering.bruteforce import ExhaustiveOrderer, PIOrderer
+from repro.ordering.drips import DripsPlanner, drips_search
+from repro.ordering.greedy import GreedyOrderer
+from repro.ordering.idrips import IDripsOrderer
+from repro.ordering.streamer import StreamerOrderer
+
+__all__ = [
+    "AbstractPlan",
+    "AbstractSource",
+    "AbstractionHeuristic",
+    "DripsPlanner",
+    "ExhaustiveOrderer",
+    "ExtensionSimilarityHeuristic",
+    "GreedyOrderer",
+    "IDripsOrderer",
+    "OrderedPlan",
+    "OrderingStats",
+    "OutputCountHeuristic",
+    "PIOrderer",
+    "PlanOrderer",
+    "RandomHeuristic",
+    "StreamerOrderer",
+    "drips_search",
+]

@@ -1,0 +1,104 @@
+"""The Greedy algorithm (paper, Section 4).
+
+Applicable when the utility measure is *fully monotonic*: each bucket
+admits a total preference order on its sources such that upgrading a
+source always improves the plan, regardless of the executed set.  Then
+
+* the best plan of a plan space is found by picking each bucket's best
+  source (local comparisons only);
+* removing an emitted plan splits its space into at most ``m`` disjoint
+  subspaces (:meth:`~repro.reformulation.plans.PlanSpace.split_off`);
+* a priority queue over the spaces' best plans yields the global
+  ordering.
+
+The paper proves Greedy returns the correct first ``k`` plans in
+``O(m * n^2 * k^2)`` time; with the heap used here the typical cost is
+``O(k * n * (log(k n) + m))`` where ``m`` is the largest bucket size
+and ``n`` the query length.
+
+Full monotonicity guarantees the per-bucket *order* is stable across
+execution contexts, but for measures that are monotonic yet not
+context-free the utility *values* may still drift, so the heap is
+re-scored after each recorded execution.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator, Optional
+
+from repro.errors import NotApplicableError
+from repro.ordering.base import EmitCallback, OrderedPlan, PlanOrderer
+from repro.reformulation.plans import PlanSpace, QueryPlan
+from repro.utility.base import UtilityMeasure
+
+
+def best_plan_of(space: PlanSpace, utility: UtilityMeasure) -> QueryPlan:
+    """Pick each bucket's best source by the measure's preference key."""
+    chosen = []
+    for bucket in space.buckets:
+        best = max(
+            bucket.sources,
+            key=lambda s: (utility.source_preference_key(bucket.index, s), s.name),
+        )
+        chosen.append(best)
+    return QueryPlan(tuple(chosen))
+
+
+class GreedyOrderer(PlanOrderer):
+    """Exact ordering for fully monotonic utility measures."""
+
+    name = "greedy"
+
+    def __init__(self, utility: UtilityMeasure) -> None:
+        if not utility.is_fully_monotonic:
+            raise NotApplicableError(
+                f"Greedy requires a fully monotonic measure; "
+                f"{utility.name!r} is not"
+            )
+        super().__init__(utility)
+
+    def order(
+        self,
+        space: PlanSpace,
+        k: int,
+        on_emit: Optional[EmitCallback] = None,
+    ) -> Iterator[OrderedPlan]:
+        return self.order_spaces([space], k, on_emit)
+
+    def order_spaces(
+        self,
+        spaces: "list[PlanSpace] | tuple[PlanSpace, ...]",
+        k: int,
+        on_emit: Optional[EmitCallback] = None,
+    ) -> Iterator[OrderedPlan]:
+        self._check_k(k)
+        context = self.utility.new_context()
+        counter = itertools.count()
+
+        def entry(candidate_space: PlanSpace) -> tuple:
+            plan = best_plan_of(candidate_space, self.utility)
+            value = self.utility.evaluate(plan, context)
+            self.stats.note_concrete_evaluation()
+            # Ties broken by plan key for determinism.
+            return (-value, plan.key, next(counter), plan, candidate_space)
+
+        heap = [entry(space) for space in spaces]
+        heapq.heapify(heap)
+        for rank in range(1, k + 1):
+            if not heap:
+                return
+            neg_value, _key, _tick, plan, owner = heapq.heappop(heap)
+            self.stats.snapshot_first_plan()
+            yield OrderedPlan(plan, -neg_value, rank)
+            for subspace in owner.split_off(plan):
+                self.stats.spaces_created += 1
+                heapq.heappush(heap, entry(subspace))
+            if on_emit is None or on_emit(plan):
+                context.record(plan)
+                if not self.utility.context_free:
+                    # Monotonicity fixes the per-bucket order, but the
+                    # utility values may shift with the context.
+                    heap = [entry(item[4]) for item in heap]
+                    heapq.heapify(heap)

@@ -1,0 +1,14 @@
+"""Source modeling: LAV descriptions, statistics, and overlap.
+
+A data source is described by a conjunctive *source description*
+(local-as-view), carries scalar statistics used by the cost-based
+utility measures, and — for the coverage utility — an *extension*
+bitmask over a discrete per-bucket universe describing which answer
+tuples it can contribute.
+"""
+
+from repro.sources.catalog import Catalog, SourceDescription
+from repro.sources.overlap import OverlapModel
+from repro.sources.statistics import SourceStats
+
+__all__ = ["Catalog", "OverlapModel", "SourceDescription", "SourceStats"]

@@ -1,0 +1,126 @@
+"""Source extensions and overlap.
+
+The coverage utility (paper, Example 2.1) needs to know how much the
+tuple sets of two sources overlap.  We model each bucket's potential
+answer tuples as a discrete universe of ``universe_size`` elements and
+each source's extension as a subset, stored as a Python int bitmask
+(bit ``j`` set means the source can return tuple ``j`` of that
+bucket's universe).
+
+A query plan then corresponds to the *cross-product box* of its
+per-slot extensions, and residual coverage, plan overlap, and plan
+independence all become exact bit arithmetic (see
+:mod:`repro.utility.boxes`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import CatalogError
+
+
+class OverlapModel:
+    """Per-bucket universes and per-source extension bitmasks.
+
+    Parameters
+    ----------
+    universe_sizes:
+        Universe size for each bucket (= query subgoal), indexed by
+        bucket position.
+    extensions:
+        Mapping ``(bucket_index, source_name) -> bitmask``.
+    """
+
+    def __init__(
+        self,
+        universe_sizes: Iterable[int],
+        extensions: Mapping[tuple[int, str], int],
+    ) -> None:
+        self._universe_sizes = tuple(universe_sizes)
+        if any(size <= 0 for size in self._universe_sizes):
+            raise CatalogError("universe sizes must be positive")
+        self._extensions: dict[tuple[int, str], int] = {}
+        for (bucket, name), mask in extensions.items():
+            self._check_mask(bucket, name, mask)
+            self._extensions[(bucket, name)] = mask
+
+    def _check_mask(self, bucket: int, name: str, mask: int) -> None:
+        if not 0 <= bucket < len(self._universe_sizes):
+            raise CatalogError(f"bucket index {bucket} out of range for {name!r}")
+        if mask < 0:
+            raise CatalogError(f"negative mask for {name!r}")
+        if mask >> self._universe_sizes[bucket]:
+            raise CatalogError(
+                f"mask for {name!r} exceeds bucket {bucket} universe "
+                f"({self._universe_sizes[bucket]} bits)"
+            )
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def universe_sizes(self) -> tuple[int, ...]:
+        return self._universe_sizes
+
+    def universe_size(self, bucket: int) -> int:
+        return self._universe_sizes[bucket]
+
+    def full_mask(self, bucket: int) -> int:
+        return (1 << self._universe_sizes[bucket]) - 1
+
+    def total_universe_size(self) -> int:
+        total = 1
+        for size in self._universe_sizes:
+            total *= size
+        return total
+
+    def extension(self, bucket: int, source_name: str) -> int:
+        """The bitmask of tuples source *source_name* covers in *bucket*."""
+        try:
+            return self._extensions[(bucket, source_name)]
+        except KeyError:
+            raise CatalogError(
+                f"no extension registered for source {source_name!r} "
+                f"in bucket {bucket}"
+            ) from None
+
+    def has_extension(self, bucket: int, source_name: str) -> bool:
+        return (bucket, source_name) in self._extensions
+
+    def set_extension(self, bucket: int, source_name: str, mask: int) -> None:
+        self._check_mask(bucket, source_name, mask)
+        self._extensions[(bucket, source_name)] = mask
+
+    # -- derived quantities -------------------------------------------------------
+
+    def coverage_fraction(self, bucket: int, source_name: str) -> float:
+        """Fraction of the bucket universe the source covers."""
+        return self.extension(bucket, source_name).bit_count() / self._universe_sizes[
+            bucket
+        ]
+
+    def overlap_count(self, bucket: int, first: str, second: str) -> int:
+        """Number of universe elements covered by both sources."""
+        return (
+            self.extension(bucket, first) & self.extension(bucket, second)
+        ).bit_count()
+
+    def overlap_fraction(self, bucket: int, first: str, second: str) -> float:
+        """|A & B| / |A|: how much of *first* is shared with *second*."""
+        mask = self.extension(bucket, first)
+        if mask == 0:
+            return 0.0
+        return (mask & self.extension(bucket, second)).bit_count() / mask.bit_count()
+
+    def jaccard(self, bucket: int, first: str, second: str) -> float:
+        """Jaccard similarity of the two extensions."""
+        a = self.extension(bucket, first)
+        b = self.extension(bucket, second)
+        union = (a | b).bit_count()
+        if union == 0:
+            return 1.0
+        return (a & b).bit_count() / union
+
+    def disjoint(self, bucket: int, first: str, second: str) -> bool:
+        """True when the two extensions share no tuple."""
+        return (self.extension(bucket, first) & self.extension(bucket, second)) == 0

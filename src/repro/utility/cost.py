@@ -1,0 +1,279 @@
+"""Cost-based utility measures (paper, Sections 3 and 6).
+
+Two cost models are implemented, both returning *negated* cost as the
+utility so that higher is always better:
+
+* :class:`LinearCost` -- the paper's measure (1):
+  ``cost(p) = sum_i (h + alpha_i * n_i)``.  Every term depends on one
+  source only, so the measure is *fully monotonic* and Greedy applies.
+
+* :class:`BindJoinCost` -- the paper's measure (2), generalized to
+  query length ``d``: tuples retrieved from the first source are
+  shipped to the second source for a bind join, whose (estimated)
+  output feeds the third, and so on::
+
+      m_1 = n_1
+      m_j = m_{j-1} * n_j / N_j          (join selectivity, j >= 2)
+      cost = (h + alpha_1 * n_1) + sum_{j>=2} (h + alpha_j * m_j)
+
+  With per-source transmission costs ``alpha`` this is *not* fully
+  monotonic with respect to the earlier subgoals (Section 3).  Two
+  orthogonal options reproduce the paper's experimental variants:
+
+  - ``failure_aware=True`` divides by the probability that every
+    access succeeds, giving the expected cost to the first successful
+    execution ("cost with probability of source failure", Figures
+    6.d-i);
+  - ``caching=True`` zeroes the cost term of any source operation
+    whose result was cached by a previously executed plan (Figures
+    6.g-i).  This makes utility depend on the executed plans, breaks
+    utility-diminishing returns (costs can only *drop*), and therefore
+    rules out Streamer, exactly as discussed in Section 6.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import UtilityError
+from repro.sources.catalog import SourceDescription
+from repro.utility.base import ExecutionContext, PlanLike, Slots, UtilityMeasure
+from repro.utility.intervals import Interval
+
+#: A source operation: which source is accessed in which plan slot.
+SourceOp = tuple[str, int]
+
+
+class CachingContext(ExecutionContext):
+    """Execution context that remembers cached source operations."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.cached_ops: set[SourceOp] = set()
+
+    def record(self, plan: PlanLike) -> None:
+        super().record(plan)
+        for slot, source in enumerate(plan.sources):
+            self.cached_ops.add((source.name, slot))
+
+    def is_cached(self, source: SourceDescription, slot: int) -> bool:
+        return (source.name, slot) in self.cached_ops
+
+
+class LinearCost(UtilityMeasure):
+    """Measure (1): independent per-source access costs.
+
+    ``u(p) = -sum_i (h + alpha_i * n_i)``.  Fully monotonic: within any
+    bucket, a source with smaller ``alpha * n`` is always preferable,
+    no matter what the rest of the plan looks like or which plans ran
+    before (Section 3).
+    """
+
+    name = "linear-cost"
+    is_fully_monotonic = True
+    has_diminishing_returns = True
+    context_free = True
+
+    def __init__(self, access_overhead: float = 1.0) -> None:
+        if access_overhead < 0:
+            raise UtilityError("access overhead must be non-negative")
+        self.access_overhead = access_overhead
+
+    def _term(self, source: SourceDescription) -> float:
+        return self.access_overhead + source.stats.transfer_cost * source.stats.n_tuples
+
+    def evaluate(self, plan: PlanLike, context: ExecutionContext) -> float:
+        return -sum(self._term(source) for source in plan.sources)
+
+    def evaluate_slots(self, slots: Slots, context: ExecutionContext) -> Interval:
+        lo = 0.0
+        hi = 0.0
+        for members in slots:
+            terms = [self._term(source) for source in members]
+            lo += min(terms)
+            hi += max(terms)
+        return Interval(-hi, -lo)
+
+    def source_preference_key(self, bucket: int, source: SourceDescription) -> float:
+        # Smaller per-source cost term means higher utility.
+        return -self._term(source)
+
+
+class BindJoinCost(UtilityMeasure):
+    """Measure (2): bind-join pipeline with estimated intermediate sizes.
+
+    Parameters
+    ----------
+    access_overhead:
+        The paper's ``h``, shared across sources.
+    domain_sizes:
+        The paper's ``N`` per join step: the total number of join
+        values at each subgoal position (e.g. the total number of
+        movies).  Either a single number used for every step or one
+        value per subgoal; position 0 is unused.
+    failure_aware:
+        Divide cost by ``prod_i (1 - f_i)``, the probability that
+        every source access succeeds.
+    caching:
+        Zero the term of cached source operations (see module
+        docstring).
+    """
+
+    has_diminishing_returns = True
+
+    def __init__(
+        self,
+        access_overhead: float = 1.0,
+        domain_sizes: float | Sequence[float] = 1000.0,
+        failure_aware: bool = False,
+        caching: bool = False,
+        uniform_transfer: bool = False,
+    ) -> None:
+        if access_overhead < 0:
+            raise UtilityError("access overhead must be non-negative")
+        self.access_overhead = access_overhead
+        self._domain_sizes = domain_sizes
+        self.failure_aware = failure_aware
+        self.caching = caching
+        self.context_free = not caching
+        # With caching, later executions can only lower costs, i.e.
+        # *raise* utilities: diminishing returns fails (Section 6).
+        self.has_diminishing_returns = not caching
+        # Section 3: "if transmission costs alpha are the same across
+        # all sources, then [measure (2)] is also monotonic wrt the
+        # first subgoal, and thus is fully monotonic".  The caller
+        # asserts that property by setting uniform_transfer; Greedy
+        # then applies.  Failure probabilities and caching both break
+        # the per-bucket order, so the claim is limited to the plain
+        # measure.
+        self.uniform_transfer = uniform_transfer
+        self.is_fully_monotonic = (
+            uniform_transfer and not failure_aware and not caching
+        )
+        parts = ["bind-join-cost"]
+        if uniform_transfer:
+            parts.append("uniform")
+        if failure_aware:
+            parts.append("failure")
+        if caching:
+            parts.append("caching")
+        self.name = "+".join(parts)
+
+    def domain_size(self, slot: int) -> float:
+        if isinstance(self._domain_sizes, (int, float)):
+            return float(self._domain_sizes)
+        return float(self._domain_sizes[slot])
+
+    # -- point evaluation ----------------------------------------------------------
+
+    def evaluate(self, plan: PlanLike, context: ExecutionContext) -> float:
+        cost = 0.0
+        flow = 0.0
+        success = 1.0
+        for slot, source in enumerate(plan.sources):
+            stats = source.stats
+            if slot == 0:
+                flow = float(stats.n_tuples)
+            else:
+                flow = flow * stats.n_tuples / self.domain_size(slot)
+            term = self.access_overhead + stats.transfer_cost * flow
+            if self.caching and self._is_cached(context, source, slot):
+                term = 0.0
+            cost += term
+            if self.failure_aware:
+                success *= 1.0 - stats.failure_prob
+        if self.failure_aware:
+            cost /= success
+        return -cost
+
+    def _is_cached(
+        self, context: ExecutionContext, source: SourceDescription, slot: int
+    ) -> bool:
+        return isinstance(context, CachingContext) and context.is_cached(source, slot)
+
+    # -- interval evaluation ----------------------------------------------------------
+
+    def evaluate_slots(self, slots: Slots, context: ExecutionContext) -> Interval:
+        cost = Interval.point(0.0)
+        flow = Interval.point(0.0)
+        success = Interval.point(1.0)
+        for slot, members in enumerate(slots):
+            n = Interval(
+                min(s.stats.n_tuples for s in members),
+                max(s.stats.n_tuples for s in members),
+            )
+            alpha = Interval(
+                min(s.stats.transfer_cost for s in members),
+                max(s.stats.transfer_cost for s in members),
+            )
+            if slot == 0:
+                flow = n
+            else:
+                flow = flow * n / self.domain_size(slot)
+            term = alpha * flow + self.access_overhead
+            if self.caching:
+                cached = [self._is_cached(context, s, slot) for s in members]
+                if all(cached):
+                    term = Interval.point(0.0)
+                elif any(cached):
+                    term = Interval(0.0, term.hi)
+            cost = cost + term
+            if self.failure_aware:
+                one_minus_f = Interval(
+                    min(1.0 - s.stats.failure_prob for s in members),
+                    max(1.0 - s.stats.failure_prob for s in members),
+                )
+                success = success * one_minus_f
+        if self.failure_aware:
+            cost = cost / success
+        return -cost
+
+    # -- monotonicity (uniform-transfer variant) --------------------------------------
+
+    def source_preference_key(self, bucket: int, source: SourceDescription) -> float:
+        if not self.is_fully_monotonic:
+            return super().source_preference_key(bucket, source)
+        # With uniform alpha every cost term is increasing in each
+        # source's tuple count, so fewer tuples is always better.
+        return -float(source.stats.n_tuples)
+
+    # -- independence ----------------------------------------------------------------
+
+    def new_context(self) -> ExecutionContext:
+        if self.caching:
+            return CachingContext()
+        return ExecutionContext()
+
+    def independent(self, first: PlanLike, second: PlanLike) -> bool:
+        if not self.caching:
+            return True
+        # Independent iff the plans share no source operation: caching a
+        # result only affects plans using the same source in the same slot.
+        return all(
+            a.name != b.name for a, b in zip(first.sources, second.sources)
+        )
+
+    def has_independent_witness(
+        self, slots: Slots, executed: Sequence[PlanLike]
+    ) -> bool:
+        if not self.caching:
+            return True
+        # A witness exists iff every slot has a member not used at that
+        # slot by any executed plan; picking those members yields a
+        # concrete plan sharing no source operation with any of them.
+        for slot, members in enumerate(slots):
+            used = {plan.sources[slot].name for plan in executed}
+            if all(source.name in used for source in members):
+                return False
+        return True
+
+    def all_members_independent(self, slots: Slots, plan: PlanLike) -> bool:
+        if not self.caching:
+            return True
+        # A member combination shares an operation with *plan* exactly
+        # when it picks the plan's source at some slot, so all
+        # combinations are independent iff no slot offers that source.
+        return all(
+            plan.sources[slot].name not in {s.name for s in members}
+            for slot, members in enumerate(slots)
+        )

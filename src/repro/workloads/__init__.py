@@ -1,0 +1,20 @@
+"""Workload construction: synthetic experiment domains and the paper's
+named domains (movies from Figure 1, digital cameras from Section 3).
+"""
+
+from repro.workloads.movies import movie_domain
+from repro.workloads.cameras import camera_domain
+from repro.workloads.paper_example import paper_example
+from repro.workloads.random_lav import certain_answers_three_ways, random_scenario
+from repro.workloads.synthetic import SyntheticDomain, SyntheticParams, generate_domain
+
+__all__ = [
+    "SyntheticDomain",
+    "SyntheticParams",
+    "camera_domain",
+    "certain_answers_three_ways",
+    "generate_domain",
+    "movie_domain",
+    "paper_example",
+    "random_scenario",
+]

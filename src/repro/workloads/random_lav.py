@@ -1,0 +1,171 @@
+"""Random local-as-view scenarios for cross-validation.
+
+Generates random mediated schemas, random conjunctive views over them,
+random conjunctive queries, and random source instances.  The point is
+adversarial testing of the reformulation stack: on any such scenario
+the three independent pipelines —
+
+1. bucket algorithm + soundness test + plan execution,
+2. MiniCon rewritings + execution,
+3. inverse rules + datalog evaluation,
+
+are cross-checked.  MiniCon and inverse rules are *complete* for
+conjunctive queries, so their answers must coincide exactly; the
+bucket pipeline builds only one-source-per-subgoal conjunctive plans,
+which is sound but famously incomplete when a view covers several
+subgoals through a hidden join variable (the very gap MiniCon was
+invented to close), so its answers must be a subset.  A violation of
+either relation pinpoints a reformulation bug that hand-written
+examples would likely miss.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.datalog.query import ConjunctiveQuery
+from repro.datalog.terms import Atom, Variable
+from repro.errors import ReformulationError
+from repro.sources.catalog import Catalog
+
+
+@dataclass
+class RandomScenario:
+    """One random LAV setup with a concrete instance."""
+
+    catalog: Catalog
+    query: ConjunctiveQuery
+    source_facts: dict[str, set[tuple[object, ...]]]
+    schema_facts: dict[str, set[tuple[object, ...]]]
+
+
+def random_scenario(
+    seed: int,
+    n_relations: int = 3,
+    n_sources: int = 5,
+    query_subgoals: int = 2,
+    view_subgoals: int = 2,
+    domain_size: int = 5,
+    facts_per_relation: int = 8,
+    source_completeness: float = 0.7,
+) -> RandomScenario:
+    """Build a random scenario; deterministic per seed.
+
+    Views are conjunctions of 1..``view_subgoals`` schema atoms whose
+    heads expose a random nonempty subset of the body variables; the
+    query is a conjunction of ``query_subgoals`` atoms with a random
+    nonempty head.  Source instances are random subsets of the views'
+    exact extensions over a random schema instance, so sources are
+    incomplete (as in the paper's setting) and every source tuple
+    genuinely satisfies its description.
+    """
+    rng = random.Random(seed)
+    catalog = Catalog()
+    arities = {}
+    for index in range(n_relations):
+        arity = rng.choice((1, 2, 2))  # binary-heavy, as usual
+        name = f"rel{index}"
+        catalog.add_relation(name, arity)
+        arities[name] = arity
+
+    # Random schema instance.
+    domain = [f"c{i}" for i in range(domain_size)]
+    schema_facts: dict[str, set[tuple[object, ...]]] = {}
+    for name, arity in arities.items():
+        rows = set()
+        for _ in range(facts_per_relation):
+            rows.add(tuple(rng.choice(domain) for _ in range(arity)))
+        schema_facts[name] = rows
+
+    variables = [Variable(f"X{i}") for i in range(6)]
+
+    def random_body(n_atoms: int) -> tuple[Atom, ...]:
+        body = []
+        for _ in range(n_atoms):
+            name = rng.choice(list(arities))
+            args = tuple(
+                rng.choice(variables[: 2 * n_atoms]) for _ in range(arities[name])
+            )
+            body.append(Atom(name, args))
+        return tuple(body)
+
+    # Random views + their exact extensions + sampled instances.
+    from repro.execution.engine import evaluate_conjunctive_query
+
+    source_facts: dict[str, set[tuple[object, ...]]] = {}
+    for index in range(n_sources):
+        for _attempt in range(20):
+            body = random_body(rng.randint(1, view_subgoals))
+            body_vars = sorted(
+                {v for atom in body for v in atom.variables()},
+                key=lambda v: v.name,
+            )
+            head_size = rng.randint(1, len(body_vars))
+            head_vars = tuple(rng.sample(body_vars, head_size))
+            name = f"src{index}"
+            view = ConjunctiveQuery(Atom(name, head_vars), body)
+            try:
+                catalog.add_source(view)
+            except ReformulationError:
+                continue
+            extension = evaluate_conjunctive_query(view, schema_facts)
+            kept = {
+                row
+                for row in extension
+                if rng.random() < source_completeness
+            }
+            source_facts[name] = kept
+            break
+        else:
+            raise ReformulationError(f"could not build view {index}")
+
+    # Random query; retried until it is safe (always, by construction).
+    body = random_body(query_subgoals)
+    body_vars = sorted(
+        {v for atom in body for v in atom.variables()}, key=lambda v: v.name
+    )
+    head_size = rng.randint(1, min(3, len(body_vars)))
+    head_vars = tuple(rng.sample(body_vars, head_size))
+    query = ConjunctiveQuery(Atom("q", head_vars), body)
+
+    return RandomScenario(catalog, query, source_facts, schema_facts)
+
+
+def certain_answers_three_ways(
+    scenario: RandomScenario,
+) -> tuple[set, set, Optional[set]]:
+    """(bucket+soundness, inverse rules, MiniCon) answers.
+
+    The MiniCon entry is None when the bucket algorithm finds no
+    covering sources for some subgoal (then both plan-based pipelines
+    yield no plans, and inverse rules is the only generic oracle).
+    """
+    from repro.execution.engine import evaluate_conjunctive_query, execute_plan
+    from repro.reformulation.buckets import build_buckets
+    from repro.reformulation.inverse_rules import answer_with_inverse_rules
+    from repro.reformulation.minicon import minicon_plan_queries
+
+    inverse = answer_with_inverse_rules(
+        scenario.catalog, scenario.query, scenario.source_facts
+    )
+
+    bucket_answers: set = set()
+    try:
+        space = build_buckets(scenario.query, scenario.catalog)
+    except ReformulationError:
+        space = None
+    if space is not None:
+        for plan in space.plans():
+            result = execute_plan(scenario.query, plan, scenario.source_facts)
+            if result is not None:
+                bucket_answers |= result
+
+    minicon_answers: set = set()
+    for rewriting in minicon_plan_queries(scenario.query, scenario.catalog):
+        minicon_answers |= evaluate_conjunctive_query(
+            rewriting, scenario.source_facts
+        )
+
+    return bucket_answers, inverse, minicon_answers

@@ -1,0 +1,78 @@
+"""Shared fixtures and ordering-correctness helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ordering.base import OrderedPlan
+from repro.reformulation.plans import PlanSpace
+from repro.utility.base import UtilityMeasure
+from repro.workloads.movies import MovieDomain, movie_domain
+from repro.workloads.synthetic import SyntheticDomain, SyntheticParams, generate_domain
+
+
+@pytest.fixture
+def movies() -> MovieDomain:
+    return movie_domain()
+
+
+@pytest.fixture
+def tiny_domain() -> SyntheticDomain:
+    """A 3x3 plan space, like the paper's running example."""
+    return generate_domain(
+        SyntheticParams(query_length=2, bucket_size=3, seed=7)
+    )
+
+
+@pytest.fixture
+def small_domain() -> SyntheticDomain:
+    """A two-bucket space small enough for brute-force cross-checks."""
+    return generate_domain(
+        SyntheticParams(query_length=2, bucket_size=8, seed=3)
+    )
+
+
+@pytest.fixture
+def medium_domain() -> SyntheticDomain:
+    """Query length 3, as in the paper's experiments."""
+    return generate_domain(
+        SyntheticParams(query_length=3, bucket_size=6, seed=5)
+    )
+
+
+def assert_valid_ordering(
+    results: list[OrderedPlan],
+    space: PlanSpace,
+    utility: UtilityMeasure,
+    tolerance: float = 1e-9,
+) -> None:
+    """Check Definition 2.1: each emitted plan maximizes the
+    conditional utility over the not-yet-emitted plans.
+
+    Robust to ties: any tie-breaking choice is a correct ordering, so
+    we verify optimality step by step instead of comparing against one
+    specific reference sequence.
+    """
+    context = utility.new_context()
+    remaining = {plan.key: plan for plan in space.plans()}
+    for entry in results:
+        assert entry.plan.key in remaining, f"{entry.plan} emitted twice"
+        value = utility.evaluate(entry.plan, context)
+        assert value == pytest.approx(entry.utility, abs=tolerance), (
+            f"reported utility {entry.utility} != recomputed {value} "
+            f"for {entry.plan}"
+        )
+        best = max(
+            utility.evaluate(plan, context) for plan in remaining.values()
+        )
+        assert value == pytest.approx(best, abs=tolerance), (
+            f"{entry.plan} has utility {value}, but {best} was available"
+        )
+        del remaining[entry.plan.key]
+        context.record(entry.plan)
+
+
+def assert_descending(results: list[OrderedPlan]) -> None:
+    """Context-free orderings must be non-increasing in utility."""
+    utilities = [entry.utility for entry in results]
+    assert utilities == sorted(utilities, reverse=True)

@@ -1,0 +1,98 @@
+"""Tests for the datalog parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.datalog.parser import parse_atom, parse_program, parse_query, parse_rule
+from repro.datalog.terms import Atom, Constant, Variable
+
+
+class TestParseAtom:
+    def test_simple_atom(self):
+        assert parse_atom("play_in(A, M)") == Atom(
+            "play_in", (Variable("A"), Variable("M"))
+        )
+
+    def test_lowercase_identifier_is_constant(self):
+        assert parse_atom("play_in(ford, M)") == Atom(
+            "play_in", (Constant("ford"), Variable("M"))
+        )
+
+    def test_quoted_string_constant(self):
+        assert parse_atom('r("hello world")') == Atom(
+            "r", (Constant("hello world"),)
+        )
+
+    def test_integer_constant(self):
+        assert parse_atom("r(42)") == Atom("r", (Constant(42),))
+
+    def test_float_constant(self):
+        assert parse_atom("r(1.5)") == Atom("r", (Constant(1.5),))
+
+    def test_negative_number(self):
+        assert parse_atom("r(-3)") == Atom("r", (Constant(-3),))
+
+    def test_underscore_starts_variable(self):
+        assert parse_atom("r(_x)") == Atom("r", (Variable("_x"),))
+
+    def test_hyphenated_predicate_normalized(self):
+        # The paper writes play-in; we normalize to play_in.
+        assert parse_atom("play-in(A, M)").predicate == "play_in"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("r(X) extra")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("r(X")
+
+    def test_empty_args_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("r()")
+
+
+class TestParseRuleAndQuery:
+    def test_rule_head_and_body(self):
+        rule = parse_rule("q(X) :- r(X, Y), s(Y)")
+        assert rule.head.predicate == "q"
+        assert [a.predicate for a in rule.body] == ["r", "s"]
+
+    def test_rule_with_trailing_period(self):
+        rule = parse_rule("q(X) :- r(X).")
+        assert rule.head.predicate == "q"
+
+    def test_query_checks_safety(self):
+        with pytest.raises(Exception):
+            parse_query("q(X, Z) :- r(X, Y)")
+
+    def test_query_roundtrip_str(self):
+        text = 'q(M, R) :- play_in("ford", M), review_of(R, M)'
+        query = parse_query(text)
+        assert str(query) == text
+
+    def test_missing_implication_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("q(X) r(X)")
+
+
+class TestParseProgram:
+    def test_multiple_lines(self):
+        program = parse_program(
+            """
+            p(X) :- e(X, Y)
+            p(X) :- e(X, Y), p(Y)
+            """
+        )
+        assert len(program) == 2
+
+    def test_comments_and_blanks_skipped(self):
+        program = parse_program(
+            """
+            % a comment
+            # another comment
+
+            p(X) :- e(X)
+            """
+        )
+        assert len(program) == 1

@@ -1,0 +1,88 @@
+"""Tests for the experiment harness and Figure 6 panel specs."""
+
+import pytest
+
+from repro.experiments.figure6 import (
+    PANELS,
+    overlap_sweep_spec,
+    query_length_spec,
+)
+from repro.experiments.harness import AlgorithmSpec, PanelSpec, run_panel
+from repro.ordering.bruteforce import PIOrderer
+
+
+class TestPanelDefinitions:
+    def test_all_twelve_panels_defined(self):
+        assert sorted(PANELS) == list("abcdefghijkl")
+
+    def test_k_values_match_paper(self):
+        assert PANELS["a"].k == 1
+        assert PANELS["b"].k == 10
+        assert PANELS["c"].k == 100
+        assert PANELS["l"].k == 100
+
+    def test_query_length_three_by_default(self):
+        assert all(spec.query_length == 3 for spec in PANELS.values())
+
+    def test_overlap_rate_point_three(self):
+        assert all(spec.overlap_rate == 0.3 for spec in PANELS.values())
+
+    def test_streamer_absent_from_caching_panels(self):
+        """Caching breaks diminishing returns (Section 6)."""
+        for panel in ("g", "h", "i"):
+            names = [a.name for a in PANELS[panel].algorithms]
+            assert "Streamer" not in names
+            assert {"PI", "iDrips"} <= set(names)
+
+    def test_streamer_present_elsewhere(self):
+        for panel in ("a", "d", "j"):
+            names = [a.name for a in PANELS[panel].algorithms]
+            assert "Streamer" in names
+
+
+class TestRunPanel:
+    def test_small_run_produces_rows(self):
+        result = run_panel(PANELS["a"], bucket_sizes=(3, 4))
+        assert len(result.rows) == 2 * len(PANELS["a"].algorithms)
+        for row in result.rows:
+            assert row.seconds >= 0
+            assert row.plans_evaluated > 0
+            assert row.plans_returned == 1
+
+    def test_row_lookup_and_series(self):
+        result = run_panel(PANELS["a"], bucket_sizes=(3,))
+        row = result.row("PI", 3)
+        assert row.algorithm == "PI"
+        assert len(result.series("PI")) == 1
+        with pytest.raises(KeyError):
+            result.row("PI", 99)
+
+    def test_format_table_contains_all_cells(self):
+        result = run_panel(PANELS["a"], bucket_sizes=(3,))
+        table = result.format_table()
+        assert "Panel 6.a" in table
+        assert "PI" in table and "Streamer" in table
+
+    def test_custom_spec_seeds_averaged(self):
+        spec = PanelSpec(
+            "t",
+            "test",
+            1,
+            (AlgorithmSpec("PI", lambda d: PIOrderer(d.linear_cost())),),
+            bucket_sizes=(3,),
+            query_length=2,
+            seeds=(0, 1),
+        )
+        result = run_panel(spec)
+        assert len(result.rows) == 1
+
+
+class TestSweepSpecs:
+    def test_overlap_sweep_spec(self):
+        spec = overlap_sweep_spec(0.5)
+        assert spec.overlap_rate == 0.5
+        assert spec.k == 20
+
+    def test_query_length_spec(self):
+        spec = query_length_spec(5)
+        assert spec.query_length == 5

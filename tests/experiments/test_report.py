@@ -1,0 +1,51 @@
+"""Tests for the markdown report generator and the figure6 CLI."""
+
+import pytest
+
+from repro.experiments.figure6 import PANELS, main as figure6_main
+from repro.experiments.harness import run_panel
+from repro.experiments.report import (
+    build_report,
+    main as report_main,
+    panel_markdown,
+    summary_markdown,
+)
+
+
+class TestPanelMarkdown:
+    def test_table_structure(self):
+        result = run_panel(PANELS["a"], bucket_sizes=(3,))
+        text = panel_markdown(result)
+        assert "### Panel 6.a" in text
+        assert "| bucket |" in text
+        assert "| 3 |" in text
+        # one data row per bucket size
+        assert text.count("\n| 3 |") == 1
+
+    def test_summary_names_a_winner(self):
+        result = run_panel(PANELS["a"], bucket_sizes=(3,))
+        text = summary_markdown([result])
+        assert "6.a" in text
+        assert any(
+            name in text for name in ("PI", "iDrips", "Streamer")
+        )
+
+
+class TestBuildReport:
+    def test_single_panel_report(self):
+        text = build_report(["a"], bucket_sizes=(3,))
+        assert text.startswith("# Measured results")
+        assert "Panel 6.a" in text
+        assert "Winners by panel" in text
+
+
+class TestCLIs:
+    def test_figure6_cli_quick_single_panel(self, capsys):
+        assert figure6_main(["--quick", "--panel", "a"]) == 0
+        out = capsys.readouterr().out
+        assert "Panel 6.a" in out
+
+    def test_report_cli_quick_single_panel(self, capsys):
+        assert report_main(["--quick", "--panel", "a"]) == 0
+        out = capsys.readouterr().out
+        assert "Panel 6.a" in out

@@ -1,0 +1,46 @@
+"""Smoke tests: the example scripts must keep running end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "bucket 0" in out
+    assert "Matches the inverse-rules certain answers" in out
+
+
+def test_camera_shopping():
+    out = run_example("camera_shopping.py")
+    assert "Plan coverage" in out
+    assert "Monetary cost per tuple" in out
+    assert "Streamer evaluated" in out
+
+
+def test_anytime_mediation():
+    out = run_example("anytime_mediation.py")
+    assert "plans executed" in out
+    assert "answers gathered" in out
+
+
+@pytest.mark.slow
+def test_reproduce_figure6():
+    out = run_example("reproduce_figure6.py")
+    for panel in ("6.a", "6.d", "6.g", "6.j"):
+        assert f"Panel {panel}" in out

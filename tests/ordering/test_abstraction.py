@@ -1,0 +1,170 @@
+"""Tests for abstraction trees and abstract plans."""
+
+import pytest
+
+from repro.datalog.parser import parse_query
+from repro.errors import OrderingError
+from repro.ordering.abstraction import (
+    AbstractPlan,
+    AbstractSource,
+    ExtensionSimilarityHeuristic,
+    OutputCountHeuristic,
+    RandomHeuristic,
+    balanced_tree,
+    build_trees,
+    top_plan,
+)
+from repro.reformulation.plans import Bucket
+from repro.sources.catalog import SourceDescription
+from repro.sources.statistics import SourceStats
+
+
+def src(name: str, n: int = 10) -> SourceDescription:
+    return SourceDescription(
+        name, parse_query(f"{name}(X) :- r(X)"), SourceStats(n_tuples=n)
+    )
+
+
+SOURCES = [src(f"s{i}", n=10 * (i + 1)) for i in range(6)]
+
+
+class TestAbstractSource:
+    def test_leaf(self):
+        leaf = AbstractSource(0, (SOURCES[0],))
+        assert leaf.is_leaf
+        assert leaf.source is SOURCES[0]
+
+    def test_internal_node_has_no_source(self):
+        tree = balanced_tree(0, SOURCES[:2])
+        with pytest.raises(OrderingError):
+            _ = tree.source
+
+    def test_children_must_concatenate(self):
+        left = AbstractSource(0, (SOURCES[0],))
+        right = AbstractSource(0, (SOURCES[1],))
+        with pytest.raises(OrderingError):
+            AbstractSource(0, (SOURCES[1], SOURCES[0]), (left, right))
+
+    def test_empty_members_rejected(self):
+        with pytest.raises(OrderingError):
+            AbstractSource(0, ())
+
+
+class TestBalancedTree:
+    def test_tree_covers_all_leaves(self):
+        tree = balanced_tree(0, SOURCES)
+        assert len(tree) == 6
+
+        def leaves(node):
+            if node.is_leaf:
+                return [node.source.name]
+            return [n for c in node.children for n in leaves(c)]
+
+        assert leaves(tree) == [s.name for s in SOURCES]
+
+    def test_tree_is_binary_and_balanced(self):
+        tree = balanced_tree(0, SOURCES[:4])
+        assert len(tree.children) == 2
+        assert all(len(c) == 2 for c in tree.children)
+
+    def test_single_source_is_leaf(self):
+        assert balanced_tree(0, SOURCES[:1]).is_leaf
+
+    def test_empty_rejected(self):
+        with pytest.raises(OrderingError):
+            balanced_tree(0, [])
+
+
+class TestHeuristics:
+    def test_output_count_sorts_by_tuples(self):
+        bucket = Bucket(0, tuple(reversed(SOURCES)))
+        ordered = OutputCountHeuristic().order_bucket(bucket)
+        assert [s.stats.n_tuples for s in ordered] == sorted(
+            s.stats.n_tuples for s in SOURCES
+        )
+
+    def test_random_heuristic_deterministic_per_seed(self):
+        bucket = Bucket(0, tuple(SOURCES))
+        first = [s.name for s in RandomHeuristic(3).order_bucket(bucket)]
+        second = [s.name for s in RandomHeuristic(3).order_bucket(bucket)]
+        third = [s.name for s in RandomHeuristic(4).order_bucket(bucket)]
+        assert first == second
+        assert first != third or len(SOURCES) <= 2
+
+    def test_extension_similarity_groups_by_region(self):
+        from repro.sources.overlap import OverlapModel
+
+        model = OverlapModel(
+            (16,),
+            {
+                (0, "s0"): 0b1111_0000_0000_0000,
+                (0, "s1"): 0b0000_0000_0000_1111,
+                (0, "s2"): 0b0111_0000_0000_0000,
+                (0, "s3"): 0b0000_0000_0000_0111,
+            },
+        )
+        bucket = Bucket(0, tuple(src(f"s{i}") for i in range(4)))
+        ordered = ExtensionSimilarityHeuristic(model).order_bucket(bucket)
+        names = [s.name for s in ordered]
+        # Low-region sources (s1, s3) come before high-region (s0, s2).
+        assert set(names[:2]) == {"s1", "s3"}
+
+
+class TestAbstractPlan:
+    def test_top_plan_size(self):
+        buckets = (Bucket(0, tuple(SOURCES[:3])), Bucket(1, tuple(SOURCES[3:])))
+        plan = top_plan(buckets, OutputCountHeuristic())
+        assert plan.size == 9
+        assert not plan.is_concrete
+
+    def test_concrete_plan_roundtrip(self):
+        buckets = (Bucket(0, (SOURCES[0],)), Bucket(1, (SOURCES[1],)))
+        plan = top_plan(buckets, OutputCountHeuristic())
+        assert plan.is_concrete
+        assert plan.concrete_plan().key == ("s0", "s1")
+
+    def test_concrete_plan_on_abstract_rejected(self):
+        buckets = (Bucket(0, tuple(SOURCES[:2])),)
+        plan = top_plan(buckets, OutputCountHeuristic())
+        with pytest.raises(OrderingError):
+            plan.concrete_plan()
+
+    def test_refine_splits_widest_slot(self):
+        buckets = (Bucket(0, tuple(SOURCES[:2])), Bucket(1, tuple(SOURCES[2:6])))
+        plan = top_plan(buckets, OutputCountHeuristic())
+        assert plan.refinement_slot() == 1
+        children = plan.refine()
+        assert len(children) == 2
+        assert sum(c.size for c in children) == plan.size
+
+    def test_refine_concrete_slot_rejected(self):
+        buckets = (Bucket(0, (SOURCES[0],)),)
+        plan = top_plan(buckets, OutputCountHeuristic())
+        with pytest.raises(OrderingError):
+            plan.refine()
+
+    def test_refinement_partitions_concrete_plans(self):
+        buckets = (Bucket(0, tuple(SOURCES[:3])), Bucket(1, tuple(SOURCES[3:])))
+        plan = top_plan(buckets, OutputCountHeuristic())
+
+        def concretes(p: AbstractPlan) -> set:
+            if p.is_concrete:
+                return {p.concrete_plan().key}
+            out: set = set()
+            for child in p.refine():
+                out |= concretes(child)
+            return out
+
+        keys = concretes(plan)
+        assert len(keys) == 9
+
+    def test_slots_members(self):
+        buckets = (Bucket(0, tuple(SOURCES[:2])),)
+        plan = top_plan(buckets, OutputCountHeuristic())
+        (members,) = plan.slots_members()
+        assert set(m.name for m in members) == {"s0", "s1"}
+
+    def test_space_id_propagates_through_refinement(self):
+        buckets = (Bucket(0, tuple(SOURCES[:4])),)
+        plan = AbstractPlan(build_trees(buckets, OutputCountHeuristic()), space_id=7)
+        assert all(c.space_id == 7 for c in plan.refine())

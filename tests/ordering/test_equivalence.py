@@ -1,0 +1,116 @@
+"""Cross-algorithm equivalence: every orderer solves Definition 2.1.
+
+For random domains and every applicable (algorithm, measure) pair, the
+emitted sequence must be a valid greedy-max ordering; on tie-free
+measures all algorithms must produce identical utility sequences.
+"""
+
+import pytest
+
+from tests.conftest import assert_valid_ordering
+
+from repro.ordering.bruteforce import ExhaustiveOrderer, PIOrderer
+from repro.ordering.greedy import GreedyOrderer
+from repro.ordering.idrips import IDripsOrderer
+from repro.ordering.streamer import StreamerOrderer
+from repro.workloads.synthetic import SyntheticParams, generate_domain
+
+SEEDS = [1, 2, 3, 4]
+
+
+def domain_for(seed: int, overlap: float = 0.3):
+    return generate_domain(
+        SyntheticParams(
+            query_length=2, bucket_size=6, overlap_rate=overlap, seed=seed
+        )
+    )
+
+
+MEASURES = {
+    "coverage": lambda d: d.coverage(),
+    "failure": lambda d: d.failure_cost(),
+    "failure+caching": lambda d: d.failure_cost(caching=True),
+    "monetary": lambda d: d.monetary(),
+    "monetary+caching": lambda d: d.monetary(caching=True),
+    "linear": lambda d: d.linear_cost(),
+    "bind-join": lambda d: d.bind_join_cost(),
+}
+
+
+def orderers_for(measure_name, domain):
+    make = MEASURES[measure_name]
+    orderers = [ExhaustiveOrderer(make(domain)), PIOrderer(make(domain))]
+    orderers.append(IDripsOrderer(make(domain)))
+    measure = make(domain)
+    if measure.has_diminishing_returns:
+        orderers.append(StreamerOrderer(make(domain)))
+    if measure.is_fully_monotonic:
+        orderers.append(GreedyOrderer(make(domain)))
+    return orderers
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("measure_name", sorted(MEASURES))
+def test_every_orderer_emits_valid_ordering(seed, measure_name):
+    domain = domain_for(seed)
+    k = 12
+    for orderer in orderers_for(measure_name, domain):
+        results = orderer.order_list(domain.space, k)
+        assert len(results) == k, f"{orderer.name} returned too few plans"
+        assert_valid_ordering(
+            results, domain.space, MEASURES[measure_name](domain)
+        ), f"{orderer.name} on {measure_name}, seed {seed}"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "measure_name", ["failure", "monetary", "linear", "bind-join"]
+)
+def test_tie_free_measures_identical_sequences(seed, measure_name):
+    """Context-free measures with float-valued stats essentially never
+    tie, so all algorithms must agree plan for plan."""
+    domain = domain_for(seed)
+    k = 12
+    sequences = []
+    for orderer in orderers_for(measure_name, domain):
+        results = orderer.order_list(domain.space, k)
+        sequences.append([r.utility for r in results])
+    for other in sequences[1:]:
+        assert other == pytest.approx(sequences[0])
+
+
+@pytest.mark.parametrize("overlap", [0.0, 0.5, 1.0])
+def test_coverage_agreement_across_overlap_rates(overlap):
+    domain = domain_for(seed=11, overlap=overlap)
+    k = 10
+    pi = PIOrderer(domain.coverage()).order_list(domain.space, k)
+    streamer = StreamerOrderer(domain.coverage()).order_list(domain.space, k)
+    idrips = IDripsOrderer(domain.coverage()).order_list(domain.space, k)
+    assert [r.utility for r in streamer] == pytest.approx(
+        [r.utility for r in pi]
+    )
+    assert [r.utility for r in idrips] == pytest.approx(
+        [r.utility for r in pi]
+    )
+
+
+def test_query_length_one():
+    domain = generate_domain(
+        SyntheticParams(query_length=1, bucket_size=10, seed=6)
+    )
+    k = 5
+    pi = PIOrderer(domain.coverage()).order_list(domain.space, k)
+    streamer = StreamerOrderer(domain.coverage()).order_list(domain.space, k)
+    assert [r.utility for r in streamer] == pytest.approx([r.utility for r in pi])
+
+
+def test_query_length_four():
+    domain = generate_domain(
+        SyntheticParams(query_length=4, bucket_size=4, seed=6)
+    )
+    k = 8
+    pi = PIOrderer(domain.coverage()).order_list(domain.space, k)
+    streamer = StreamerOrderer(domain.coverage()).order_list(domain.space, k)
+    idrips = IDripsOrderer(domain.coverage()).order_list(domain.space, k)
+    assert [r.utility for r in streamer] == pytest.approx([r.utility for r in pi])
+    assert [r.utility for r in idrips] == pytest.approx([r.utility for r in pi])

@@ -1,0 +1,132 @@
+"""Property tests: abstract-plan intervals contain every member's utility.
+
+This is the single invariant the Drips family's exactness rests on
+(paper, Section 5.1): the interval of an abstract plan must contain
+the utility of *all* concrete plans it represents, in every execution
+context.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.reformulation.plans import QueryPlan
+from repro.workloads.synthetic import SyntheticParams, generate_domain
+
+
+def domains():
+    return st.builds(
+        lambda seed, overlap, length: generate_domain(
+            SyntheticParams(
+                query_length=length,
+                bucket_size=4,
+                overlap_rate=overlap,
+                seed=seed,
+            )
+        ),
+        seed=st.integers(0, 50),
+        overlap=st.sampled_from([0.0, 0.3, 0.8]),
+        length=st.integers(1, 3),
+    )
+
+
+def measures_of(domain):
+    return [
+        domain.coverage(),
+        domain.linear_cost(),
+        domain.bind_join_cost(),
+        domain.failure_cost(),
+        domain.failure_cost(caching=True),
+        domain.monetary(),
+        domain.monetary(caching=True),
+    ]
+
+
+@given(domains(), st.integers(0, 3))
+@settings(max_examples=40, deadline=None)
+def test_interval_contains_every_member(domain, executed_count):
+    slots = tuple(tuple(b.sources) for b in domain.space.buckets)
+    plans = list(domain.space.plans())
+    for measure in measures_of(domain):
+        context = measure.new_context()
+        for plan in plans[:executed_count]:
+            context.record(plan)
+        interval = measure.evaluate_slots(slots, context)
+        for plan in plans:
+            value = measure.evaluate(plan, context)
+            slack = 1e-9 * max(1.0, abs(interval.lo), abs(interval.hi))
+            assert interval.lo - slack <= value <= interval.hi + slack, (
+                f"{measure.name}: {value} outside {interval} for {plan}"
+            )
+
+
+@given(domains())
+@settings(max_examples=30, deadline=None)
+def test_singleton_slots_give_point_interval_equal_to_evaluate(domain):
+    plans = list(domain.space.plans())
+    plan = plans[len(plans) // 2]
+    slots = tuple((s,) for s in plan.sources)
+    for measure in measures_of(domain):
+        context = measure.new_context()
+        interval = measure.evaluate_slots(slots, context)
+        value = measure.evaluate(plan, context)
+        assert interval.lo == pytest.approx(value, abs=1e-12)
+        assert interval.hi == pytest.approx(value, abs=1e-12)
+
+
+@given(domains())
+@settings(max_examples=30, deadline=None)
+def test_refinement_narrows_intervals(domain):
+    """Child slots (subset of members) yield sub-intervals; this is
+    what lets dominance links transfer from a refined parent."""
+    slots = tuple(tuple(b.sources) for b in domain.space.buckets)
+    for measure in measures_of(domain):
+        context = measure.new_context()
+        parent = measure.evaluate_slots(slots, context)
+        half = tuple(
+            members[: max(1, len(members) // 2)] for members in slots
+        )
+        child = measure.evaluate_slots(half, context)
+        slack = 1e-9 * max(1.0, abs(parent.lo), abs(parent.hi))
+        assert parent.lo - slack <= child.lo
+        assert child.hi <= parent.hi + slack
+
+
+@given(domains(), st.integers(0, 6))
+@settings(max_examples=30, deadline=None)
+def test_independence_oracle_is_sound(domain, probe_index):
+    """If a measure declares two plans independent, executing one must
+    not change the other's utility."""
+    plans = list(domain.space.plans())
+    probe = plans[probe_index % len(plans)]
+    for measure in measures_of(domain):
+        for other in plans[:6]:
+            if not measure.independent(probe, other):
+                continue
+            fresh = measure.new_context()
+            before = measure.evaluate(probe, fresh)
+            fresh.record(other)
+            after = measure.evaluate(probe, fresh)
+            assert after == pytest.approx(before), (
+                f"{measure.name} claimed {probe} independent of {other}"
+            )
+
+
+@given(domains())
+@settings(max_examples=25, deadline=None)
+def test_diminishing_returns_flag_is_honest(domain):
+    """Measures advertising diminishing returns must never increase a
+    plan's utility as more plans execute."""
+    plans = list(domain.space.plans())
+    for measure in measures_of(domain):
+        if not measure.has_diminishing_returns:
+            continue
+        context = measure.new_context()
+        probe = plans[-1]
+        previous = measure.evaluate(probe, context)
+        for executed in plans[:4]:
+            context.record(executed)
+            value = measure.evaluate(probe, context)
+            assert value <= previous + 1e-12, measure.name
+            previous = value

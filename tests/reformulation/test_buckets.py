@@ -1,0 +1,91 @@
+"""Tests for the bucket algorithm."""
+
+import pytest
+
+from repro.errors import ReformulationError
+from repro.datalog.parser import parse_query
+from repro.reformulation.buckets import build_buckets, source_covers_subgoal
+from repro.sources.catalog import Catalog
+
+
+class TestMovieDomain:
+    """Figure 1: the canonical bucket example."""
+
+    def test_buckets_match_figure1(self, movies):
+        space = build_buckets(movies.query, movies.catalog)
+        names = [tuple(s.name for s in b.sources) for b in space.buckets]
+        assert names == [("v1", "v2", "v3"), ("v4", "v5", "v6")]
+
+    def test_plan_space_has_nine_plans(self, movies):
+        space = build_buckets(movies.query, movies.catalog)
+        assert space.size == 9
+
+    def test_space_remembers_query(self, movies):
+        space = build_buckets(movies.query, movies.catalog)
+        assert space.query is movies.query
+
+
+class TestCoverageConditions:
+    @pytest.fixture
+    def catalog(self) -> Catalog:
+        cat = Catalog({"r": 2, "s": 1})
+        return cat
+
+    def test_head_variable_must_be_distinguished(self, catalog):
+        # w hides the first column of r, so it cannot serve a subgoal
+        # whose first position carries a query head variable.
+        catalog.add_source("w(Y) :- r(X, Y)")
+        query = parse_query("q(X) :- r(X, Y)")
+        with pytest.raises(ReformulationError):
+            build_buckets(query, catalog)
+
+    def test_existential_position_may_be_hidden(self, catalog):
+        catalog.add_source("w(X) :- r(X, Y)")
+        query = parse_query("q(X) :- r(X, Y)")
+        space = build_buckets(query, catalog)
+        assert [s.name for s in space.buckets[0].sources] == ["w"]
+
+    def test_constant_needs_selectable_column(self, catalog):
+        # Selection r(c, Y): a source hiding column 1 cannot apply it.
+        catalog.add_source("w(Y) :- r(X, Y)")
+        catalog.add_source("u(X, Y) :- r(X, Y)")
+        query = parse_query("q(Y) :- r(c, Y)")
+        space = build_buckets(query, catalog)
+        assert [s.name for s in space.buckets[0].sources] == ["u"]
+
+    def test_constant_in_source_compatible(self, catalog):
+        catalog.add_source("w(Y) :- r(c, Y)")
+        query = parse_query("q(Y) :- r(c, Y)")
+        space = build_buckets(query, catalog)
+        assert [s.name for s in space.buckets[0].sources] == ["w"]
+
+    def test_constant_mismatch_excluded(self, catalog):
+        catalog.add_source("w(Y) :- r(d, Y)")
+        query = parse_query("q(Y) :- r(c, Y)")
+        with pytest.raises(ReformulationError):
+            build_buckets(query, catalog)
+
+    def test_source_covering_multiple_subgoals_lands_in_both_buckets(self, catalog):
+        catalog.add_source("w(X, Y) :- r(X, Y), s(X)")
+        query = parse_query("q(X, Y) :- r(X, Y), s(X)")
+        space = build_buckets(query, catalog)
+        assert [s.name for s in space.buckets[0].sources] == ["w"]
+        assert [s.name for s in space.buckets[1].sources] == ["w"]
+
+    def test_empty_bucket_raises(self, catalog):
+        catalog.add_source("w(X) :- s(X)")
+        query = parse_query("q(X, Y) :- r(X, Y)")
+        with pytest.raises(ReformulationError):
+            build_buckets(query, catalog)
+
+
+class TestSourceCoversSubgoal:
+    def test_direct_cover(self, movies):
+        v1 = movies.catalog.source("v1")
+        subgoal = parse_query("q(M) :- play_in(ford, M)").subgoal(0)
+        assert source_covers_subgoal(v1, subgoal, frozenset())
+
+    def test_wrong_predicate(self, movies):
+        v4 = movies.catalog.source("v4")
+        subgoal = parse_query("q(M) :- play_in(ford, M)").subgoal(0)
+        assert not source_covers_subgoal(v4, subgoal, frozenset())

@@ -1,0 +1,60 @@
+"""Inverse-rule buckets (paper, Section 7): the inverse rules covering
+the same schema relation form a bucket usable by the orderers."""
+
+import pytest
+
+from repro.errors import ReformulationError
+from repro.datalog.parser import parse_query
+from repro.ordering.greedy import GreedyOrderer
+from repro.reformulation.buckets import build_buckets
+from repro.reformulation.inverse_rules import inverse_rule_plan_space
+from repro.sources.catalog import Catalog
+from repro.utility.cost import LinearCost
+
+
+class TestMovieDomain:
+    def test_matches_bucket_algorithm(self, movies):
+        via_rules = inverse_rule_plan_space(movies.catalog, movies.query)
+        via_buckets = build_buckets(movies.query, movies.catalog)
+        for rule_bucket, classic in zip(via_rules.buckets, via_buckets.buckets):
+            assert {s.name for s in rule_bucket.sources} == {
+                s.name for s in classic.sources
+            }
+
+    def test_space_is_orderable(self, movies):
+        space = inverse_rule_plan_space(movies.catalog, movies.query)
+        results = GreedyOrderer(LinearCost()).order_list(space, 3)
+        assert len(results) == 3
+
+
+class TestAdmissibility:
+    def test_skolemized_output_column_excluded(self):
+        """A source projecting away a query output column produces an
+        inverse rule with a Skolem in that position — unusable."""
+        catalog = Catalog({"r": 2})
+        catalog.add_source("hide(X) :- r(X, Y)")
+        catalog.add_source("keep(X, Y) :- r(X, Y)")
+        query = parse_query("q(X, Y) :- r(X, Y)")
+        space = inverse_rule_plan_space(catalog, query)
+        assert [s.name for s in space.buckets[0].sources] == ["keep"]
+
+    def test_skolemized_join_column_allowed(self):
+        catalog = Catalog({"r": 2})
+        catalog.add_source("hide(X) :- r(X, Y)")
+        query = parse_query("q(X) :- r(X, Y)")
+        space = inverse_rule_plan_space(catalog, query)
+        assert [s.name for s in space.buckets[0].sources] == ["hide"]
+
+    def test_constant_position_needs_export(self):
+        catalog = Catalog({"r": 2})
+        catalog.add_source("hide(Y) :- r(X, Y)")
+        query = parse_query("q(Y) :- r(c, Y)")
+        with pytest.raises(ReformulationError):
+            inverse_rule_plan_space(catalog, query)
+
+    def test_uncovered_subgoal_raises(self):
+        catalog = Catalog({"r": 2, "s": 1})
+        catalog.add_source("w(X, Y) :- r(X, Y)")
+        query = parse_query("q(X) :- r(X, Y), s(X)")
+        with pytest.raises(ReformulationError):
+            inverse_rule_plan_space(catalog, query)

@@ -1,0 +1,144 @@
+"""Tests for plans, buckets and plan-space splitting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReformulationError
+from repro.datalog.parser import parse_query
+from repro.reformulation.plans import Bucket, PlanSpace, QueryPlan
+from repro.sources.catalog import SourceDescription
+
+
+def src(name: str) -> SourceDescription:
+    return SourceDescription(name, parse_query(f"{name}(X) :- r(X)"))
+
+
+SOURCES = {name: src(name) for name in "abcdefgh"}
+
+
+def bucket(index: int, names: str) -> Bucket:
+    return Bucket(index, tuple(SOURCES[n] for n in names))
+
+
+def space_of(*bucket_names: str) -> PlanSpace:
+    return PlanSpace(
+        tuple(bucket(i, names) for i, names in enumerate(bucket_names))
+    )
+
+
+def plan_of(*names: str) -> QueryPlan:
+    return QueryPlan(tuple(SOURCES[n] for n in names))
+
+
+class TestQueryPlan:
+    def test_key_and_equality(self):
+        assert plan_of("a", "b") == plan_of("a", "b")
+        assert plan_of("a", "b") != plan_of("b", "a")
+        assert plan_of("a", "b").key == ("a", "b")
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ReformulationError):
+            QueryPlan(())
+
+    def test_str(self):
+        assert str(plan_of("a", "b")) == "[a][b]"
+
+
+class TestBucket:
+    def test_duplicate_sources_rejected(self):
+        with pytest.raises(ReformulationError):
+            Bucket(0, (SOURCES["a"], SOURCES["a"]))
+
+    def test_without(self):
+        b = bucket(0, "abc").without(SOURCES["b"])
+        assert [s.name for s in b] == ["a", "c"]
+
+    def test_only(self):
+        b = bucket(0, "abc").only(SOURCES["b"])
+        assert [s.name for s in b] == ["b"]
+
+    def test_only_missing_source_rejected(self):
+        with pytest.raises(ReformulationError):
+            bucket(0, "ab").only(SOURCES["c"])
+
+
+class TestPlanSpace:
+    def test_size_and_width(self):
+        space = space_of("abc", "de")
+        assert space.size == 6
+        assert space.width == 2
+
+    def test_plans_enumeration(self):
+        space = space_of("ab", "cd")
+        keys = [p.key for p in space.plans()]
+        assert keys == [("a", "c"), ("a", "d"), ("b", "c"), ("b", "d")]
+
+    def test_contains(self):
+        space = space_of("ab", "cd")
+        assert space.contains(plan_of("a", "d"))
+        assert not space.contains(plan_of("a", "a"))
+        assert not space.contains(plan_of("a"))
+
+    def test_empty_bucket_rejected(self):
+        with pytest.raises(ReformulationError):
+            PlanSpace((Bucket(0, ()),))
+
+    def test_no_buckets_rejected(self):
+        with pytest.raises(ReformulationError):
+            PlanSpace(())
+
+
+class TestSplitOff:
+    """The paper's Figure 2: removing V1V5 from S1 yields {S3, S5}."""
+
+    def test_figure2_example(self):
+        space = space_of("abc", "def")  # a~V1, e~V5
+        subspaces = space.split_off(plan_of("a", "e"))
+        assert len(subspaces) == 2
+        # S3 = {b,c} x {d,e,f}; S5 = {a} x {d,f}.
+        shapes = sorted(
+            tuple(tuple(s.name for s in b.sources) for b in sub.buckets)
+            for sub in subspaces
+        )
+        assert shapes == [
+            (("a",), ("d", "f")),
+            (("b", "c"), ("d", "e", "f")),
+        ]
+
+    def test_subspaces_disjoint_and_cover(self):
+        space = space_of("abc", "de", "fg")
+        removed = plan_of("b", "d", "g")
+        subspaces = space.split_off(removed)
+        collected: list = []
+        for sub in subspaces:
+            collected.extend(p.key for p in sub.plans())
+        assert len(collected) == len(set(collected)), "subspaces overlap"
+        expected = {p.key for p in space.plans()} - {removed.key}
+        assert set(collected) == expected
+
+    def test_splitting_singleton_space_gives_nothing(self):
+        space = space_of("a", "b")
+        assert space.split_off(plan_of("a", "b")) == []
+
+    def test_plan_not_in_space_rejected(self):
+        space = space_of("ab", "cd")
+        with pytest.raises(ReformulationError):
+            space.split_off(plan_of("a", "e"))
+
+
+@given(
+    st.lists(
+        st.sampled_from(["ab", "abc", "abcd", "a"]), min_size=1, max_size=3
+    ),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_split_off_property(bucket_specs, rng):
+    """split_off always partitions space \\ {plan}."""
+    space = space_of(*bucket_specs)
+    plans = list(space.plans())
+    removed = rng.choice(plans)
+    subspaces = space.split_off(removed)
+    collected = [p.key for sub in subspaces for p in sub.plans()]
+    assert len(collected) == len(set(collected))
+    assert set(collected) == {p.key for p in plans} - {removed.key}

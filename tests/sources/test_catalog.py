@@ -1,0 +1,107 @@
+"""Tests for the source catalog."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.datalog.parser import parse_query
+from repro.sources.catalog import Catalog, SourceDescription
+from repro.sources.statistics import SourceStats
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    cat = Catalog({"play_in": 2, "american": 1})
+    return cat
+
+
+class TestSchema:
+    def test_add_relation(self, catalog):
+        catalog.add_relation("review_of", 2)
+        assert catalog.has_relation("review_of")
+
+    def test_arity_conflict_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.add_relation("play_in", 3)
+
+    def test_redeclaring_same_arity_ok(self, catalog):
+        catalog.add_relation("play_in", 2)
+
+
+class TestAddSource:
+    def test_add_from_text(self, catalog):
+        source = catalog.add_source("v1(A, M) :- play_in(A, M), american(M)")
+        assert source.name == "v1"
+        assert catalog.source("v1") is source
+
+    def test_add_with_stats(self, catalog):
+        stats = SourceStats(n_tuples=7)
+        source = catalog.add_source("v1(A, M) :- play_in(A, M)", stats=stats)
+        assert source.stats.n_tuples == 7
+
+    def test_duplicate_name_rejected(self, catalog):
+        catalog.add_source("v1(A, M) :- play_in(A, M)")
+        with pytest.raises(CatalogError):
+            catalog.add_source("v1(A, M) :- play_in(A, M)")
+
+    def test_unknown_relation_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.add_source("v1(A, M) :- acts_in(A, M)")
+
+    def test_wrong_arity_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.add_source("v1(A) :- play_in(A)")
+
+    def test_source_name_colliding_with_schema_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.add_source("american(M) :- american(M)")
+
+    def test_sources_for_predicate(self, catalog):
+        catalog.add_source("v1(A, M) :- play_in(A, M), american(M)")
+        catalog.add_source("v2(M) :- american(M)")
+        assert [s.name for s in catalog.sources_for("american")] == ["v1", "v2"]
+        assert [s.name for s in catalog.sources_for("play_in")] == ["v1"]
+
+    def test_len_iter_contains(self, catalog):
+        catalog.add_source("v1(A, M) :- play_in(A, M)")
+        assert len(catalog) == 1
+        assert "v1" in catalog
+        assert [s.name for s in catalog] == ["v1"]
+
+    def test_unknown_source_lookup(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.source("nope")
+
+
+class TestSourceDescription:
+    def test_name_must_match_head(self):
+        view = parse_query("v1(A, M) :- play_in(A, M)")
+        with pytest.raises(CatalogError):
+            SourceDescription("other", view)
+
+    def test_identity_by_name(self):
+        v1 = SourceDescription("v1", parse_query("v1(A, M) :- play_in(A, M)"))
+        v1_alt = SourceDescription(
+            "v1", parse_query("v1(X, Y) :- play_in(X, Y)")
+        )
+        assert v1 == v1_alt
+        assert hash(v1) == hash(v1_alt)
+
+    def test_covers_predicate(self):
+        source = SourceDescription(
+            "v1", parse_query("v1(A, M) :- play_in(A, M), american(M)")
+        )
+        assert source.covers_predicate("american")
+        assert not source.covers_predicate("russian")
+
+
+class TestValidateQuery:
+    def test_valid_query(self, catalog):
+        catalog.validate_query(parse_query("q(A) :- play_in(A, M)"))
+
+    def test_unknown_relation(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.validate_query(parse_query("q(A) :- stars_in(A, M)"))
+
+    def test_wrong_arity(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.validate_query(parse_query("q(A) :- play_in(A)"))

@@ -1,0 +1,88 @@
+"""Tests for the overlap / extension model."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.sources.overlap import OverlapModel
+
+
+@pytest.fixture
+def model() -> OverlapModel:
+    return OverlapModel(
+        (8, 4),
+        {
+            (0, "a"): 0b0000_1111,
+            (0, "b"): 0b0011_1100,
+            (0, "c"): 0b1100_0000,
+            (1, "x"): 0b1010,
+            (1, "y"): 0b0101,
+        },
+    )
+
+
+class TestConstruction:
+    def test_mask_exceeding_universe_rejected(self):
+        with pytest.raises(CatalogError):
+            OverlapModel((4,), {(0, "a"): 0b10000})
+
+    def test_negative_mask_rejected(self):
+        with pytest.raises(CatalogError):
+            OverlapModel((4,), {(0, "a"): -1})
+
+    def test_bad_bucket_rejected(self):
+        with pytest.raises(CatalogError):
+            OverlapModel((4,), {(1, "a"): 0b1})
+
+    def test_zero_universe_rejected(self):
+        with pytest.raises(CatalogError):
+            OverlapModel((0,), {})
+
+
+class TestAccessors:
+    def test_universe_sizes(self, model):
+        assert model.universe_sizes == (8, 4)
+        assert model.universe_size(1) == 4
+
+    def test_total_universe(self, model):
+        assert model.total_universe_size() == 32
+
+    def test_full_mask(self, model):
+        assert model.full_mask(1) == 0b1111
+
+    def test_extension_lookup(self, model):
+        assert model.extension(0, "a") == 0b0000_1111
+
+    def test_missing_extension_raises(self, model):
+        with pytest.raises(CatalogError):
+            model.extension(0, "zzz")
+
+    def test_has_extension(self, model):
+        assert model.has_extension(1, "x")
+        assert not model.has_extension(0, "x")
+
+    def test_set_extension_validates(self, model):
+        with pytest.raises(CatalogError):
+            model.set_extension(1, "x", 0b10000)
+        model.set_extension(1, "x", 0b1111)
+        assert model.extension(1, "x") == 0b1111
+
+
+class TestDerivedQuantities:
+    def test_coverage_fraction(self, model):
+        assert model.coverage_fraction(0, "a") == pytest.approx(0.5)
+
+    def test_overlap_count(self, model):
+        assert model.overlap_count(0, "a", "b") == 2
+        assert model.overlap_count(0, "a", "c") == 0
+
+    def test_overlap_fraction_directional(self, model):
+        assert model.overlap_fraction(0, "a", "b") == pytest.approx(0.5)
+        assert model.overlap_fraction(0, "b", "a") == pytest.approx(0.5)
+
+    def test_jaccard(self, model):
+        assert model.jaccard(0, "a", "b") == pytest.approx(2 / 6)
+        assert model.jaccard(1, "x", "y") == 0.0
+
+    def test_disjoint(self, model):
+        assert model.disjoint(0, "a", "c")
+        assert not model.disjoint(0, "a", "b")

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_demo_prints_plans_and_answers(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Query: q(M, R)" in out
+        assert "#1" in out
+        assert "star_wars" in out
+
+
+class TestOrder:
+    def test_order_defaults(self, capsys):
+        assert main(["order", "--bucket-size", "4", "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Ordering 64 plans" in out
+        assert out.count("#") >= 3
+
+    @pytest.mark.parametrize(
+        "algorithm", ("pi", "exhaustive", "idrips", "streamer")
+    )
+    def test_every_algorithm_runs(self, capsys, algorithm):
+        assert (
+            main(
+                [
+                    "order",
+                    "--algorithm", algorithm,
+                    "--measure", "failure",
+                    "--bucket-size", "4",
+                    "--query-length", "2",
+                    "-k", "2",
+                ]
+            )
+            == 0
+        )
+        assert "plans_evaluated" in capsys.readouterr().out
+
+    def test_greedy_needs_monotonic_measure(self, capsys):
+        assert (
+            main(
+                [
+                    "order",
+                    "--algorithm", "greedy",
+                    "--measure", "linear",
+                    "--bucket-size", "4",
+                    "-k", "2",
+                ]
+            )
+            == 0
+        )
+
+    def test_counters_printed(self, capsys):
+        main(["order", "--algorithm", "streamer", "--bucket-size", "4", "-k", "2"])
+        out = capsys.readouterr().out
+        assert "plans_evaluated:" in out
+
+
+class TestSimulate:
+    def test_simulate_reports_both_orders(self, capsys):
+        assert main(["simulate", "--bucket-size", "4", "-k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "best-first" in out
+        assert "worst-first" in out
+
+
+class TestForwarding:
+    def test_experiments_forwarding(self, capsys):
+        assert main(["experiments", "--quick", "--panel", "a"]) == 0
+        assert "Panel 6.a" in capsys.readouterr().out
+
+    def test_report_forwarding(self, capsys):
+        assert main(["report", "--quick", "--panel", "a"]) == 0
+        assert "Panel 6.a" in capsys.readouterr().out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

@@ -1,0 +1,107 @@
+"""Measure (2) with uniform transmission costs is fully monotonic
+(paper, Section 3) — Greedy then applies."""
+
+import pytest
+
+from repro.datalog.parser import parse_query
+from repro.ordering.bruteforce import ExhaustiveOrderer
+from repro.ordering.greedy import GreedyOrderer
+from repro.reformulation.plans import Bucket, PlanSpace, QueryPlan
+from repro.sources.catalog import SourceDescription
+from repro.sources.statistics import SourceStats
+from repro.utility.cost import BindJoinCost
+
+ALPHA = 1.3
+
+
+def src(name: str, n: int) -> SourceDescription:
+    return SourceDescription(
+        name,
+        parse_query(f"{name}(X) :- r(X)"),
+        SourceStats(n_tuples=n, transfer_cost=ALPHA),
+    )
+
+
+def uniform_space(sizes_per_bucket) -> PlanSpace:
+    buckets = []
+    for index, sizes in enumerate(sizes_per_bucket):
+        buckets.append(
+            Bucket(
+                index,
+                tuple(src(f"v{index}_{j}", n) for j, n in enumerate(sizes)),
+            )
+        )
+    return PlanSpace(tuple(buckets))
+
+
+class TestFlags:
+    def test_uniform_plain_is_monotonic(self):
+        measure = BindJoinCost(uniform_transfer=True)
+        assert measure.is_fully_monotonic
+        assert "uniform" in measure.name
+
+    def test_failure_or_caching_break_monotonicity(self):
+        assert not BindJoinCost(
+            uniform_transfer=True, failure_aware=True
+        ).is_fully_monotonic
+        assert not BindJoinCost(
+            uniform_transfer=True, caching=True
+        ).is_fully_monotonic
+
+    def test_non_uniform_not_monotonic(self):
+        assert not BindJoinCost().is_fully_monotonic
+
+
+class TestPreferenceKey:
+    def test_fewer_tuples_preferred(self):
+        measure = BindJoinCost(uniform_transfer=True)
+        small = src("s", 5)
+        large = src("l", 50)
+        assert measure.source_preference_key(0, small) > (
+            measure.source_preference_key(0, large)
+        )
+
+    def test_key_unavailable_without_uniform(self):
+        from repro.errors import UtilityError
+
+        with pytest.raises(UtilityError):
+            BindJoinCost().source_preference_key(0, src("a", 5))
+
+
+class TestGreedyOnUniformMeasure:
+    def test_greedy_matches_exhaustive(self):
+        space = uniform_space([(30, 10, 20), (5, 25, 15), (40, 35, 45)])
+        measure = BindJoinCost(
+            access_overhead=1.0, domain_sizes=60.0, uniform_transfer=True
+        )
+        k = 12
+        greedy = GreedyOrderer(measure).order_list(space, k)
+        reference = ExhaustiveOrderer(
+            BindJoinCost(
+                access_overhead=1.0, domain_sizes=60.0, uniform_transfer=True
+            )
+        ).order_list(space, k)
+        assert [r.utility for r in greedy] == pytest.approx(
+            [r.utility for r in reference]
+        )
+
+    def test_replacing_source_with_smaller_n_always_improves(self):
+        """The monotonicity property itself, checked exhaustively."""
+        space = uniform_space([(30, 10), (5, 25), (40, 35)])
+        measure = BindJoinCost(
+            access_overhead=1.0, domain_sizes=60.0, uniform_transfer=True
+        )
+        ctx = measure.new_context()
+        for plan in space.plans():
+            for slot, bucket in enumerate(space.buckets):
+                for candidate in bucket.sources:
+                    if candidate.stats.n_tuples >= plan.sources[slot].stats.n_tuples:
+                        continue
+                    upgraded = QueryPlan(
+                        plan.sources[:slot]
+                        + (candidate,)
+                        + plan.sources[slot + 1 :]
+                    )
+                    assert measure.evaluate(upgraded, ctx) > measure.evaluate(
+                        plan, ctx
+                    )
