@@ -41,3 +41,36 @@ def test_greedy_exactness_against_pi(benchmark):
     assert [r.utility for r in greedy_results] == pytest.approx(
         [r.utility for r in pi_results]
     )
+
+
+class TestTracingOverhead:
+    """Instrumentation must be free when disabled.
+
+    The hot paths guard every span behind ``tracer.enabled``, so a
+    Greedy run with the default no-op tracer should be within a few
+    percent of the pre-instrumentation cost.  Run both cells and
+    compare medians; ``--trace``-style live tracing is measured
+    alongside for contrast.
+    """
+
+    K = 25
+
+    @pytest.mark.parametrize("mode", ("disabled", "enabled"))
+    def test_greedy_cameras_tracing(self, benchmark, mode):
+        from repro.observability.tracing import Tracer
+        from repro.utility.cost import LinearCost
+        from repro.workloads.cameras import camera_domain
+
+        domain = camera_domain()
+
+        def once():
+            tracer = Tracer(enabled=(mode == "enabled"))
+            orderer = GreedyOrderer(LinearCost(), tracer=tracer)
+            return orderer, orderer.order_list(domain.space, self.K)
+
+        orderer, results = benchmark.pedantic(
+            once, rounds=30, iterations=5, warmup_rounds=3
+        )
+        benchmark.extra_info["mode"] = mode
+        benchmark.extra_info["plans_evaluated"] = orderer.stats.plans_evaluated
+        assert len(results) == min(self.K, domain.space.size)

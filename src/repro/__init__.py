@@ -41,6 +41,11 @@ from repro.errors import (
     UtilityError,
 )
 from repro.execution import AnswerBatch, Mediator, execute_plan
+from repro.observability import (
+    CachingUtilityMeasure,
+    MetricRegistry,
+    Tracer,
+)
 from repro.ordering import (
     DripsPlanner,
     ExhaustiveOrderer,
@@ -89,6 +94,7 @@ __all__ = [
     "Atom",
     "BindJoinCost",
     "Bucket",
+    "CachingUtilityMeasure",
     "Catalog",
     "CatalogError",
     "ConjunctiveQuery",
@@ -104,6 +110,7 @@ __all__ = [
     "Interval",
     "LinearCost",
     "Mediator",
+    "MetricRegistry",
     "MonetaryCostPerTuple",
     "NotApplicableError",
     "OrderedPlan",
@@ -121,6 +128,7 @@ __all__ = [
     "SourceDescription",
     "SourceStats",
     "StreamerOrderer",
+    "Tracer",
     "SyntheticDomain",
     "SyntheticParams",
     "UtilityError",

@@ -46,7 +46,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
-def _make_orderer(name: str, utility):
+def _make_orderer(name: str, utility, **instrumentation):
     from repro.ordering.bruteforce import ExhaustiveOrderer, PIOrderer
     from repro.ordering.greedy import GreedyOrderer
     from repro.ordering.idrips import IDripsOrderer
@@ -59,7 +59,7 @@ def _make_orderer(name: str, utility):
         "streamer": StreamerOrderer,
         "greedy": GreedyOrderer,
     }
-    return table[name](utility)
+    return table[name](utility, **instrumentation)
 
 
 def _make_measure(name: str, domain):
@@ -76,6 +76,7 @@ def _make_measure(name: str, domain):
 
 
 def _cmd_order(args: argparse.Namespace) -> int:
+    from repro.observability import MetricRegistry, Tracer
     from repro.workloads.synthetic import SyntheticParams, generate_domain
 
     domain = generate_domain(
@@ -87,7 +88,12 @@ def _cmd_order(args: argparse.Namespace) -> int:
         )
     )
     utility = _make_measure(args.measure, domain)
-    orderer = _make_orderer(args.algorithm, utility)
+    registry = MetricRegistry()
+    tracer = Tracer(enabled=bool(args.trace or args.metrics_out))
+    orderer = _make_orderer(
+        args.algorithm, utility,
+        cache=args.cache, registry=registry, tracer=tracer,
+    )
     print(
         f"Ordering {domain.space.size} plans with {orderer.name} "
         f"under {utility.name}:"
@@ -97,6 +103,19 @@ def _cmd_order(args: argparse.Namespace) -> int:
     for key, value in orderer.stats.as_dict().items():
         if value:
             print(f"  {key}: {value}")
+    if args.trace:
+        print()
+        print(tracer.format_table())
+    if args.metrics_out:
+        registry.write_json(
+            args.metrics_out,
+            extra={
+                "algorithm": orderer.name,
+                "measure": utility.name,
+                "spans": tracer.as_dict(),
+            },
+        )
+        print(f"wrote metrics to {args.metrics_out}")
     return 0
 
 
@@ -170,6 +189,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     order.add_argument("--overlap", type=float, default=0.3)
     order.add_argument("--seed", type=int, default=0)
     order.add_argument("-k", type=int, default=5)
+    order.add_argument("--cache", action="store_true",
+                       help="memoize utility evaluations "
+                            "(CachingUtilityMeasure)")
+    order.add_argument("--trace", action="store_true",
+                       help="print the span timing table after ordering")
+    order.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write metrics + span timings as JSON to PATH")
 
     sub.add_parser("experiments", help="Figure 6 tables (forwarded)")
     sub.add_parser("report", help="markdown result report (forwarded)")

@@ -23,6 +23,8 @@ from typing import Callable, Iterator, Mapping, Optional
 from repro.errors import ExecutionError
 from repro.datalog.query import ConjunctiveQuery
 from repro.execution.engine import evaluate_conjunctive_query
+from repro.observability.metrics import MetricRegistry
+from repro.observability.tracing import NOOP_TRACER, Tracer
 from repro.ordering.base import PlanOrderer
 from repro.ordering.bruteforce import PIOrderer
 from repro.reformulation.buckets import build_buckets
@@ -60,12 +62,22 @@ class Mediator:
         catalog: Catalog,
         source_facts: Mapping[str, set[tuple[object, ...]]],
         orderer_factory: Optional[OrdererFactory] = None,
+        *,
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.catalog = catalog
         self.source_facts = {
             name: set(facts) for name, facts in source_facts.items()
         }
         self.orderer_factory = orderer_factory or PIOrderer
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self._plans_processed = self.registry.counter("mediator.plans_processed")
+        self._sound_plans = self.registry.counter("mediator.sound_plans")
+        self._unsound_plans = self.registry.counter("mediator.unsound_plans")
+        self._answers_emitted = self.registry.counter("mediator.answers_emitted")
+        self._new_answers = self.registry.counter("mediator.new_answers")
 
     def _database(self) -> dict[str, set[tuple[object, ...]]]:
         return self.source_facts
@@ -82,9 +94,13 @@ class Mediator:
         ``max_plans`` bounds how many plans (sound or not) are pulled
         from the ordering; by default the whole plan space is drained.
         """
-        space = build_buckets(query, self.catalog)
+        with self.tracer.span("mediator.reformulate"):
+            space = build_buckets(query, self.catalog)
         if orderer is None:
             orderer = self.orderer_factory(utility)
+        if orderer.tracer is NOOP_TRACER and self.tracer.enabled:
+            # Let the ordering spans nest under the mediator's trace.
+            orderer.tracer = self.tracer
         budget = space.size if max_plans is None else min(max_plans, space.size)
 
         soundness: dict[tuple[str, ...], bool] = {}
@@ -101,10 +117,13 @@ class Mediator:
 
         seen: set[tuple[object, ...]] = set()
         for ordered in orderer.order(space, budget, on_emit=on_emit):
-            executable = plan_query(query, ordered.plan)
+            self._plans_processed.inc()
+            with self.tracer.span("mediator.soundness"):
+                executable = plan_query(query, ordered.plan)
             sound = executable is not None
             soundness[ordered.plan.key] = sound
             if not sound:
+                self._unsound_plans.inc()
                 yield AnswerBatch(
                     ordered.rank,
                     ordered.plan,
@@ -114,11 +133,15 @@ class Mediator:
                     frozenset(),
                 )
                 continue
-            answers = frozenset(
-                evaluate_conjunctive_query(executable, self._database())
-            )
+            self._sound_plans.inc()
+            with self.tracer.span("mediator.execute"):
+                answers = frozenset(
+                    evaluate_conjunctive_query(executable, self._database())
+                )
             new = frozenset(answers - seen)
             seen.update(answers)
+            self._answers_emitted.inc(len(answers))
+            self._new_answers.inc(len(new))
             yield AnswerBatch(
                 ordered.rank, ordered.plan, ordered.utility, True, answers, new
             )

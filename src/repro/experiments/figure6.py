@@ -17,11 +17,13 @@ Run from the command line::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Optional, Sequence
 
 from repro.experiments.harness import AlgorithmSpec, PanelResult, PanelSpec, run_panel
 from repro.ordering.bruteforce import PIOrderer
+from repro.ordering.greedy import GreedyOrderer
 from repro.ordering.idrips import IDripsOrderer
 from repro.ordering.streamer import StreamerOrderer
 from repro.workloads.synthetic import SyntheticDomain
@@ -123,6 +125,36 @@ PANELS: dict[str, PanelSpec] = {
 }
 
 
+def breakdown_spec(k: int = 10, cache: bool = False) -> PanelSpec:
+    """All four ordering algorithms on one measure, for the
+    evaluation/timing breakdown section of the harness report.
+
+    Linear cost (measure (1)) is fully monotonic, context-free and
+    utility-diminishing, so PI, iDrips, Streamer *and* Greedy are all
+    applicable — the only measure family where the four algorithms can
+    be compared head-to-head.  ``cache=True`` additionally opts every
+    algorithm into :class:`~repro.observability.caching.CachingUtilityMeasure`.
+    """
+
+    def _linear(domain: SyntheticDomain) -> object:
+        return domain.linear_cost()
+
+    algorithms = (
+        AlgorithmSpec("PI", lambda d: PIOrderer(_linear(d), cache=cache)),
+        AlgorithmSpec("iDrips", lambda d: IDripsOrderer(_linear(d), cache=cache)),
+        AlgorithmSpec(
+            "Streamer", lambda d: StreamerOrderer(_linear(d), cache=cache)
+        ),
+        AlgorithmSpec("Greedy", lambda d: GreedyOrderer(_linear(d), cache=cache)),
+    )
+    return PanelSpec(
+        "breakdown",
+        "linear cost, all four algorithms" + (" (memoized)" if cache else ""),
+        k,
+        algorithms,
+    )
+
+
 def overlap_sweep_spec(
     overlap_rate: float, k: int = 20, algorithms: Optional[tuple[AlgorithmSpec, ...]] = None
 ) -> PanelSpec:
@@ -177,6 +209,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--sweeps", action="store_true", help="also run overlap/query-length sweeps"
     )
+    parser.add_argument(
+        "--breakdown",
+        action="store_true",
+        help="print per-algorithm evaluation breakdowns "
+        "(includes the all-four-algorithms linear-cost panel)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write every panel's rows (timings + evaluation counters) "
+        "as JSON to PATH",
+    )
     args = parser.parse_args(argv)
 
     sizes = DEFAULT_SIZES
@@ -185,8 +230,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.full:
         sizes = FULL_SIZES
 
-    for result in run_panels(args.panel, sizes):
+    results = run_panels(args.panel, sizes)
+    for result in results:
         print(result.format_table())
+        print()
+        if args.breakdown:
+            print(result.format_breakdown())
+            print()
+
+    if args.breakdown:
+        four_way = run_panel(breakdown_spec(), bucket_sizes=sizes)
+        results.append(four_way)
+        print(four_way.format_table())
+        print()
+        print(four_way.format_breakdown())
         print()
 
     if args.sweeps:
@@ -196,6 +253,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for length in (1, 2, 3, 4, 5):
             print(run_panel(query_length_spec(length)).format_table())
             print()
+
+    if args.metrics_out:
+        payload = {result.spec.panel_id: result.as_dict() for result in results}
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote panel metrics to {args.metrics_out}")
     return 0
 
 

@@ -12,10 +12,10 @@ returns mean timings plus the evaluation counters.
 from __future__ import annotations
 
 import statistics
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from repro.observability.tracing import Stopwatch
 from repro.ordering.base import PlanOrderer
 from repro.workloads.synthetic import SyntheticDomain, SyntheticParams, generate_domain
 
@@ -67,6 +67,25 @@ class PanelRow:
     plans_evaluated: float
     first_plan_evaluations: float
     plans_returned: int
+    #: Evaluation breakdown (mean over seeds): where the work went.
+    concrete_evaluations: float = 0.0
+    abstract_evaluations: float = 0.0
+    cache_hits: float = 0.0
+    cache_misses: float = 0.0
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        return {
+            "algorithm": self.algorithm,
+            "bucket_size": self.bucket_size,
+            "seconds": self.seconds,
+            "plans_evaluated": self.plans_evaluated,
+            "concrete_evaluations": self.concrete_evaluations,
+            "abstract_evaluations": self.abstract_evaluations,
+            "first_plan_evaluations": self.first_plan_evaluations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "plans_returned": self.plans_returned,
+        }
 
 
 @dataclass
@@ -116,12 +135,50 @@ class PanelResult:
             )
         return "\n".join(lines)
 
+    def format_breakdown(self) -> str:
+        """Per-algorithm evaluation breakdown: where the work is spent.
+
+        The hardware-independent companion of :meth:`format_table`:
+        concrete versus abstract utility evaluations and the
+        evaluations paid before the first plan — the quantities behind
+        the paper's Section 6 explanations.
+        """
+        lines = [
+            f"Panel {self.spec.panel_id}: evaluation breakdown "
+            f"(k={self.spec.k})",
+            f"{'algorithm':>14} {'bucket':>8} {'total':>10} {'concrete':>10} "
+            f"{'abstract':>10} {'to 1st':>10}",
+        ]
+        for algo in self.spec.algorithms:
+            for bucket_size in self.spec.bucket_sizes:
+                row = self.row(algo.name, bucket_size)
+                lines.append(
+                    f"{row.algorithm:>14} {bucket_size:>8} "
+                    f"{row.plans_evaluated:>10.0f} "
+                    f"{row.concrete_evaluations:>10.0f} "
+                    f"{row.abstract_evaluations:>10.0f} "
+                    f"{row.first_plan_evaluations:>10.0f}"
+                )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly dump of the panel (for ``--metrics-out``)."""
+        return {
+            "panel_id": self.spec.panel_id,
+            "title": self.spec.title,
+            "k": self.spec.k,
+            "query_length": self.spec.query_length,
+            "overlap_rate": self.spec.overlap_rate,
+            "seeds": list(self.spec.seeds),
+            "rows": [row.as_dict() for row in self.rows],
+        }
+
 
 def time_ordering(orderer: PlanOrderer, domain: SyntheticDomain, k: int) -> tuple[float, int]:
     """Seconds to the k-th plan and the number of plans returned."""
-    start = time.perf_counter()
-    plans = orderer.order_list(domain.space, k)
-    return time.perf_counter() - start, len(plans)
+    with Stopwatch() as watch:
+        plans = orderer.order_list(domain.space, k)
+    return watch.elapsed, len(plans)
 
 
 def run_panel(
@@ -147,7 +204,11 @@ def run_panel(
         for algo in spec.algorithms:
             seconds: list[float] = []
             evaluated: list[float] = []
+            concrete: list[float] = []
+            abstract: list[float] = []
             first_evals: list[float] = []
+            hits: list[float] = []
+            misses: list[float] = []
             returned = 0
             for seed in spec.seeds:
                 domain = spec.domain(bucket_size, seed)
@@ -155,7 +216,13 @@ def run_panel(
                 elapsed, count = time_ordering(orderer, domain, spec.k)
                 seconds.append(elapsed)
                 evaluated.append(orderer.stats.plans_evaluated)
+                concrete.append(orderer.stats.concrete_evaluations)
+                abstract.append(orderer.stats.abstract_evaluations)
                 first_evals.append(orderer.stats.first_plan_evaluations)
+                cache_hits = orderer.registry.get("utility_cache.hits")
+                cache_misses = orderer.registry.get("utility_cache.misses")
+                hits.append(cache_hits.value if cache_hits else 0)
+                misses.append(cache_misses.value if cache_misses else 0)
                 returned = count
             result.rows.append(
                 PanelRow(
@@ -165,6 +232,10 @@ def run_panel(
                     plans_evaluated=statistics.mean(evaluated),
                     first_plan_evaluations=statistics.mean(first_evals),
                     plans_returned=returned,
+                    concrete_evaluations=statistics.mean(concrete),
+                    abstract_evaluations=statistics.mean(abstract),
+                    cache_hits=statistics.mean(hits),
+                    cache_misses=statistics.mean(misses),
                 )
             )
     return result

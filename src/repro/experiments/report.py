@@ -18,6 +18,7 @@ from repro.experiments.figure6 import (
     FULL_SIZES,
     PANELS,
     QUICK_SIZES,
+    breakdown_spec,
     overlap_sweep_spec,
     query_length_spec,
 )
@@ -45,6 +46,36 @@ def panel_markdown(result: PanelResult) -> str:
             row = result.row(algo.name, bucket_size)
             cells.append(f"{row.seconds:.4f} / {row.plans_evaluated:.0f}")
         lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def breakdown_markdown(result: PanelResult) -> str:
+    """Per-algorithm evaluation/timing breakdown as a markdown table.
+
+    Splits ``plans_evaluated`` into concrete and abstract evaluations
+    and shows the evaluations spent before the first plan plus the
+    utility-cache hit rate (zero unless the algorithms opted into
+    :class:`~repro.observability.caching.CachingUtilityMeasure`).
+    """
+    spec = result.spec
+    lines = [
+        f"### Evaluation breakdown — panel {spec.panel_id}: {spec.title}",
+        "",
+        "| algorithm | bucket | seconds | evals | concrete | abstract "
+        "| to 1st plan | cache hits/misses |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for algo in spec.algorithms:
+        for bucket_size in spec.bucket_sizes:
+            row = result.row(algo.name, bucket_size)
+            lines.append(
+                f"| {row.algorithm} | {bucket_size} | {row.seconds:.4f} "
+                f"| {row.plans_evaluated:.0f} | {row.concrete_evaluations:.0f} "
+                f"| {row.abstract_evaluations:.0f} "
+                f"| {row.first_plan_evaluations:.0f} "
+                f"| {row.cache_hits:.0f}/{row.cache_misses:.0f} |"
+            )
     lines.append("")
     return "\n".join(lines)
 
@@ -81,6 +112,16 @@ def build_report(
         sections.append(panel_markdown(result))
     if results:
         sections.append(summary_markdown(results))
+        sections.append("## Evaluation breakdown\n")
+        # All four algorithms head-to-head on the one measure family
+        # where each is applicable, then the per-panel splits.
+        sections.append(
+            breakdown_markdown(
+                run_panel(breakdown_spec(), bucket_sizes=bucket_sizes)
+            )
+        )
+        for result in results:
+            sections.append(breakdown_markdown(result))
     if include_sweeps:
         sections.append("## Sweeps\n")
         for rate in (0.1, 0.3, 0.5, 0.7):

@@ -1,0 +1,45 @@
+"""Observability: tracing spans, metric registry, memoized evaluation.
+
+The measurement substrate behind the repository's performance claims
+(ISSUE: the paper's Section 5/6 comparisons are *quantitative*).
+Three pieces:
+
+* :mod:`repro.observability.tracing` — nestable wall-time spans with a
+  free disabled mode (:data:`NOOP_TRACER` is the default everywhere);
+* :mod:`repro.observability.metrics` — counters, gauges and timing
+  histograms in a :class:`MetricRegistry` with JSON/CSV exporters;
+  ``OrderingStats`` is now a view over such a registry;
+* :mod:`repro.observability.caching` — :class:`CachingUtilityMeasure`,
+  an exact memoization wrapper for utility measures reporting
+  hit/miss counters through the registry.
+
+See ``docs/observability.md`` for usage.
+"""
+
+from repro.observability.caching import CachingUtilityMeasure
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+from repro.observability.tracing import (
+    NOOP_TRACER,
+    Span,
+    SpanStats,
+    Stopwatch,
+    Tracer,
+)
+
+__all__ = [
+    "CachingUtilityMeasure",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NOOP_TRACER",
+    "Span",
+    "SpanStats",
+    "Stopwatch",
+    "Tracer",
+]

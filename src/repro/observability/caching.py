@@ -1,0 +1,149 @@
+"""Memoized utility evaluation with hit/miss accounting.
+
+:class:`CachingUtilityMeasure` wraps any
+:class:`~repro.utility.base.UtilityMeasure` and memoizes both point
+and interval evaluations.  Cache keys are canonical *plan signatures*:
+
+* a concrete plan is identified by ``plan.key`` (its source names in
+  subgoal order — the same identity the orderers use);
+* an abstract plan by the tuple of per-slot member-name tuples;
+* a context by the ordered keys of its executed plans, or ``()`` for
+  context-free measures, where the executed set provably cannot change
+  the value.
+
+The context signature makes the wrapper *exact*: a memoized value is
+only reused in a context with the identical executed sequence, so
+orderings with and without the cache are byte-identical.  The win
+comes from the orderers' repetition patterns — iDrips rebuilding
+abstract pools each iteration, brute force rescanning surviving plans,
+Greedy re-scoring its heap — which re-evaluate the same signature in
+the same context many times over.
+
+Hits and misses are counted per kind (concrete/abstract) through a
+:class:`~repro.observability.metrics.MetricRegistry` under the
+``utility_cache.*`` names.
+
+Structural flags (monotonicity, diminishing returns, context freedom)
+and the independence/preference hooks all delegate to the wrapped
+measure, so an orderer's applicability checks see the true measure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.observability.metrics import MetricRegistry
+from repro.sources.catalog import SourceDescription
+from repro.utility.base import ExecutionContext, PlanLike, Slots, UtilityMeasure
+from repro.utility.intervals import Interval
+
+__all__ = ["CachingUtilityMeasure"]
+
+#: Signature of an execution context: the executed plans' keys in order.
+ContextSignature = tuple[tuple[str, ...], ...]
+
+
+class CachingUtilityMeasure(UtilityMeasure):
+    """Transparent memoization layer over another utility measure."""
+
+    def __init__(
+        self,
+        inner: UtilityMeasure,
+        registry: Optional[MetricRegistry] = None,
+    ) -> None:
+        if isinstance(inner, CachingUtilityMeasure):
+            raise TypeError("refusing to stack utility caches")
+        self.inner = inner
+        self.name = f"{inner.name}+memo"
+        self.is_fully_monotonic = inner.is_fully_monotonic
+        self.has_diminishing_returns = inner.has_diminishing_returns
+        self.context_free = inner.context_free
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._hits = self.registry.counter("utility_cache.hits")
+        self._misses = self.registry.counter("utility_cache.misses")
+        self._concrete_hits = self.registry.counter("utility_cache.concrete_hits")
+        self._abstract_hits = self.registry.counter("utility_cache.abstract_hits")
+        self._size = self.registry.gauge("utility_cache.entries")
+        self._concrete: dict[tuple, float] = {}
+        self._abstract: dict[tuple, Interval] = {}
+
+    # -- cache plumbing ---------------------------------------------------------
+
+    def _context_signature(self, context: ExecutionContext) -> ContextSignature:
+        if self.inner.context_free:
+            return ()
+        return tuple(plan.key for plan in context.executed)
+
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
+
+    def cache_size(self) -> int:
+        return len(self._concrete) + len(self._abstract)
+
+    def clear(self) -> None:
+        self._concrete.clear()
+        self._abstract.clear()
+        self._size.set(0)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def evaluate(self, plan: PlanLike, context: ExecutionContext) -> float:
+        key = (plan.key, self._context_signature(context))
+        try:
+            value = self._concrete[key]
+        except KeyError:
+            value = self.inner.evaluate(plan, context)
+            self._concrete[key] = value
+            self._misses.inc()
+            self._size.set(self.cache_size())
+            return value
+        self._hits.inc()
+        self._concrete_hits.inc()
+        return value
+
+    def evaluate_slots(self, slots: Slots, context: ExecutionContext) -> Interval:
+        signature = tuple(
+            tuple(source.name for source in members) for members in slots
+        )
+        key = (signature, self._context_signature(context))
+        try:
+            interval = self._abstract[key]
+        except KeyError:
+            interval = self.inner.evaluate_slots(slots, context)
+            self._abstract[key] = interval
+            self._misses.inc()
+            self._size.set(self.cache_size())
+            return interval
+        self._hits.inc()
+        self._abstract_hits.inc()
+        return interval
+
+    # -- delegation -------------------------------------------------------------
+
+    def new_context(self) -> ExecutionContext:
+        return self.inner.new_context()
+
+    def independent(self, first: PlanLike, second: PlanLike) -> bool:
+        return self.inner.independent(first, second)
+
+    def has_independent_witness(
+        self, slots: Slots, executed: Sequence[PlanLike]
+    ) -> bool:
+        return self.inner.has_independent_witness(slots, executed)
+
+    def all_members_independent(self, slots: Slots, plan: PlanLike) -> bool:
+        return self.inner.all_members_independent(slots, plan)
+
+    def source_preference_key(self, bucket: int, source: SourceDescription) -> float:
+        return self.inner.source_preference_key(bucket, source)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CachingUtilityMeasure over {self.inner!r} "
+            f"hits={self.hits} misses={self.misses}>"
+        )

@@ -1,0 +1,228 @@
+"""A process-local metric registry: counters, gauges, timing histograms.
+
+This subsumes the ad-hoc ``OrderingStats`` counters: every orderer's
+stats object is now a *view* over counters living in a
+:class:`MetricRegistry`, so one registry can hold the counters of a
+whole experiment run — several algorithms, the mediator, the utility
+cache — and export them together as JSON or CSV.
+
+Naming convention: dotted paths, ``<component>.<metric>``, e.g.
+``ordering.iDrips.concrete_evaluations`` or ``utility_cache.hits``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterator, Optional, Sequence
+
+from repro.observability.tracing import Stopwatch
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricRegistry"]
+
+#: Default histogram bucket upper bounds (seconds-flavored, exponential).
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically *intended* counter; ``set`` exists for views."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def as_dict(self) -> dict[str, object]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (graph size, heap depth, ...)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def as_dict(self) -> dict[str, object]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bound histogram with count/sum/min/max, for timings."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be sorted: {bounds!r}")
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # last = +inf
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def time(self) -> "_HistogramTimer":
+        """Context manager observing the block's wall time."""
+        return _HistogramTimer(self)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "buckets": {
+                **{f"le_{bound:g}": count
+                   for bound, count in zip(self.bounds, self.bucket_counts)},
+                "le_inf": self.bucket_counts[-1],
+            },
+        }
+
+
+class _HistogramTimer:
+    __slots__ = ("_histogram", "_watch")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._watch = Stopwatch()
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._watch.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._histogram.observe(self._watch.stop())
+
+
+class MetricRegistry:
+    """Get-or-create registry of named metrics with exporters."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, factory, kind: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory()
+        elif metric.kind != kind:
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name), "gauge")
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, bounds or DEFAULT_BUCKETS), "histogram"
+        )
+
+    # -- introspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> Iterator[str]:
+        return iter(self._metrics)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def as_dict(self) -> dict[str, dict[str, object]]:
+        return {
+            name: metric.as_dict()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    # -- exporters --------------------------------------------------------------
+
+    def to_json(self, indent: int = 2, extra: Optional[dict] = None) -> str:
+        """The registry (plus optional extra sections) as a JSON document."""
+        payload: dict[str, object] = {"metrics": self.as_dict()}
+        if extra:
+            payload.update(extra)
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    def to_csv(self) -> str:
+        """Flat ``name,kind,field,value`` rows for spreadsheet import."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["name", "kind", "field", "value"])
+        for name, metric in sorted(self._metrics.items()):
+            payload = metric.as_dict()
+            kind = payload.pop("kind")
+            for field, value in payload.items():
+                if isinstance(value, dict):  # histogram buckets
+                    for sub, count in value.items():
+                        writer.writerow([name, kind, f"{field}.{sub}", count])
+                else:
+                    writer.writerow([name, kind, field, value])
+        return buffer.getvalue()
+
+    def write_json(self, path: str, extra: Optional[dict] = None) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json(extra=extra))
+            handle.write("\n")
+
+    def write_csv(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            handle.write(self.to_csv())
+
+    def reset(self) -> None:
+        self._metrics.clear()

@@ -15,18 +15,31 @@ strategy (Section 2): the mediator tests each emitted plan for
 soundness and returns False for plans it throws away, in which case
 the plan is *not* recorded as executed and does not influence the
 conditional utility of later plans.
+
+Instrumentation: every orderer owns a
+:class:`~repro.observability.metrics.MetricRegistry` (or shares one
+passed in) and exposes :class:`OrderingStats`, a view over counters in
+that registry, so per-algorithm accounting can be exported alongside
+any other metrics.  A :class:`~repro.observability.tracing.Tracer` can
+be attached for wall-time spans; the default is the free no-op tracer.
+Utility caching (``cache=True``) wraps the measure in
+:class:`~repro.observability.caching.CachingUtilityMeasure`, reporting
+hit/miss counters through the same registry.
 """
 
 from __future__ import annotations
 
-import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
 from repro.errors import OrderingError
+from repro.observability.caching import CachingUtilityMeasure
+from repro.observability.metrics import MetricRegistry
+from repro.observability.tracing import NOOP_TRACER, Stopwatch, Tracer
 from repro.reformulation.plans import PlanSpace, QueryPlan
-from repro.utility.base import UtilityMeasure
+from repro.utility.base import ExecutionContext, Slots, UtilityMeasure
+from repro.utility.intervals import Interval
 
 #: Callback deciding whether an emitted plan counts as executed.
 EmitCallback = Callable[[QueryPlan], bool]
@@ -44,7 +57,6 @@ class OrderedPlan:
         return f"#{self.rank} {self.plan} u={self.utility:.6g}"
 
 
-@dataclass
 class OrderingStats:
     """Instrumentation counters shared by all orderers.
 
@@ -53,45 +65,76 @@ class OrderingStats:
     performance differences in Section 6 (e.g. "the number of plans
     evaluated by Streamer in the first iteration is less than 4% of the
     number of plans evaluated by PI").
+
+    The counters live in a
+    :class:`~repro.observability.metrics.MetricRegistry` under
+    ``<prefix><field>`` names; this class is a field-per-counter view
+    that keeps the original attribute API (``stats.refinements += 1``)
+    working while the registry provides export and aggregation.
     """
 
-    plans_evaluated: int = 0
-    concrete_evaluations: int = 0
-    abstract_evaluations: int = 0
-    refinements: int = 0
-    eliminations: int = 0
-    links_created: int = 0
-    links_recycled: int = 0
-    links_invalidated: int = 0
-    spaces_created: int = 0
-    #: Evaluations performed before the first plan was emitted.
-    first_plan_evaluations: int = 0
+    FIELDS = (
+        "plans_evaluated",
+        "concrete_evaluations",
+        "abstract_evaluations",
+        "refinements",
+        "eliminations",
+        "links_created",
+        "links_recycled",
+        "links_invalidated",
+        "spaces_created",
+        "first_plan_evaluations",
+    )
+
+    def __init__(
+        self,
+        registry: Optional[MetricRegistry] = None,
+        prefix: str = "ordering.",
+    ) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.prefix = prefix
+        self._counters = {
+            field: self.registry.counter(f"{prefix}{field}")
+            for field in self.FIELDS
+        }
 
     def note_abstract_evaluation(self) -> None:
-        self.plans_evaluated += 1
-        self.abstract_evaluations += 1
+        self._counters["plans_evaluated"].inc()
+        self._counters["abstract_evaluations"].inc()
 
     def note_concrete_evaluation(self) -> None:
-        self.plans_evaluated += 1
-        self.concrete_evaluations += 1
+        self._counters["plans_evaluated"].inc()
+        self._counters["concrete_evaluations"].inc()
 
     def snapshot_first_plan(self) -> None:
-        if self.first_plan_evaluations == 0:
-            self.first_plan_evaluations = self.plans_evaluated
+        if self._counters["first_plan_evaluations"].value == 0:
+            self._counters["first_plan_evaluations"].set(
+                self._counters["plans_evaluated"].value
+            )
 
     def as_dict(self) -> dict[str, int]:
         return {
-            "plans_evaluated": self.plans_evaluated,
-            "concrete_evaluations": self.concrete_evaluations,
-            "abstract_evaluations": self.abstract_evaluations,
-            "refinements": self.refinements,
-            "eliminations": self.eliminations,
-            "links_created": self.links_created,
-            "links_recycled": self.links_recycled,
-            "links_invalidated": self.links_invalidated,
-            "spaces_created": self.spaces_created,
-            "first_plan_evaluations": self.first_plan_evaluations,
+            field: int(self._counters[field].value) for field in self.FIELDS
         }
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)
+        return f"<OrderingStats {inner or 'empty'}>"
+
+
+def _stats_field(field: str) -> property:
+    def getter(self: OrderingStats) -> int:
+        return int(self._counters[field].value)
+
+    def setter(self: OrderingStats, value: int) -> None:
+        self._counters[field].set(value)
+
+    return property(getter, setter)
+
+
+for _field in OrderingStats.FIELDS:
+    setattr(OrderingStats, _field, _stats_field(_field))
+del _field
 
 
 class PlanOrderer(ABC):
@@ -100,9 +143,46 @@ class PlanOrderer(ABC):
     #: Human-readable algorithm name for experiment tables.
     name: str = "orderer"
 
-    def __init__(self, utility: UtilityMeasure) -> None:
+    def __init__(
+        self,
+        utility: UtilityMeasure,
+        *,
+        cache: bool = False,
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        if cache and not isinstance(utility, CachingUtilityMeasure):
+            utility = CachingUtilityMeasure(utility, registry=self.registry)
         self.utility = utility
-        self.stats = OrderingStats()
+        self.stats = OrderingStats(
+            registry=self.registry, prefix=f"ordering.{self.name}."
+        )
+
+    # -- instrumented evaluation -------------------------------------------------
+
+    def _evaluate_plan(self, plan: QueryPlan, context: ExecutionContext) -> float:
+        """Point-evaluate *plan*, counting and (if enabled) tracing."""
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("utility.eval"):
+                value = self.utility.evaluate(plan, context)
+        else:
+            value = self.utility.evaluate(plan, context)
+        self.stats.note_concrete_evaluation()
+        return value
+
+    def _evaluate_slots(self, slots: Slots, context: ExecutionContext) -> Interval:
+        """Interval-evaluate an abstract plan's slots, counted/traced."""
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("utility.eval_slots"):
+                interval = self.utility.evaluate_slots(slots, context)
+        else:
+            interval = self.utility.evaluate_slots(slots, context)
+        self.stats.note_abstract_evaluation()
+        return interval
 
     @abstractmethod
     def order(
@@ -144,7 +224,8 @@ class PlanOrderer(ABC):
         on_emit: Optional[EmitCallback] = None,
     ) -> list[OrderedPlan]:
         """Eagerly collect the ordering into a list."""
-        return list(self.order(space, k, on_emit))
+        with self.tracer.span(f"{self.name}.order", k=k):
+            return list(self.order(space, k, on_emit))
 
     def order_spaces_list(
         self,
@@ -153,7 +234,8 @@ class PlanOrderer(ABC):
         on_emit: Optional[EmitCallback] = None,
     ) -> list[OrderedPlan]:
         """Eagerly collect a multi-space ordering into a list."""
-        return list(self.order_spaces(spaces, k, on_emit))
+        with self.tracer.span(f"{self.name}.order_spaces", k=k):
+            return list(self.order_spaces(spaces, k, on_emit))
 
     @staticmethod
     def _check_k(k: int) -> None:
@@ -169,7 +251,13 @@ def timed_ordering(
     space: PlanSpace,
     k: int,
 ) -> tuple[list[OrderedPlan], float]:
-    """Run an ordering to completion, returning (plans, elapsed seconds)."""
-    start = time.perf_counter()
-    plans = orderer.order_list(space, k)
-    return plans, time.perf_counter() - start
+    """Run an ordering to completion, returning (plans, elapsed seconds).
+
+    Timing goes through the observability
+    :class:`~repro.observability.tracing.Stopwatch` (the same primitive
+    spans use), and the run is recorded as a ``<name>.order`` span on
+    the orderer's tracer when tracing is enabled.
+    """
+    with Stopwatch() as watch:
+        plans = orderer.order_list(space, k)
+    return plans, watch.elapsed

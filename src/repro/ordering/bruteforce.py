@@ -54,8 +54,7 @@ class ExhaustiveOrderer(PlanOrderer):
             best_key = None
             best_utility = float("-inf")
             for key, plan in remaining.items():
-                value = self.utility.evaluate(plan, context)
-                self.stats.note_concrete_evaluation()
+                value = self._evaluate_plan(plan, context)
                 if value > best_utility or (
                     value == best_utility and (best_key is None or key < best_key)
                 ):
@@ -111,8 +110,7 @@ class PIOrderer(PlanOrderer):
             for key, plan in remaining.items():
                 value = cached.get(key)
                 if value is None:
-                    value = self.utility.evaluate(plan, context)
-                    self.stats.note_concrete_evaluation()
+                    value = self._evaluate_plan(plan, context)
                     cached[key] = value
                 if value > best_utility or (
                     value == best_utility and (best_key is None or key < best_key)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 from repro.errors import OrderingError
+from repro.observability.metrics import MetricRegistry
 from repro.ordering.abstraction import AbstractPlan
 from repro.reformulation.plans import QueryPlan
 from repro.utility.intervals import Interval
@@ -55,14 +56,28 @@ class Node:
 
 
 class DominanceGraph:
-    """Nodes, domination links, and the E(p, q) bookkeeping."""
+    """Nodes, domination links, and the E(p, q) bookkeeping.
 
-    def __init__(self) -> None:
+    When a :class:`~repro.observability.metrics.MetricRegistry` is
+    passed, the graph reports its churn (nodes/links added and removed)
+    and current size under ``dominance.*`` metric names — the per-stage
+    accounting ranked-enumeration systems use to explain where work
+    goes.
+    """
+
+    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
         self._nodes: dict[NodeKey, Node] = {}
         # out[p][q] = E(p, q): plans removed since the link was created.
         self._out: dict[NodeKey, dict[NodeKey, list[QueryPlan]]] = {}
         self._in_degree: dict[NodeKey, int] = {}
         self._nondominated: set[NodeKey] = set()
+        metrics = registry if registry is not None else MetricRegistry()
+        self._nodes_added = metrics.counter("dominance.nodes_added")
+        self._nodes_removed = metrics.counter("dominance.nodes_removed")
+        self._links_added = metrics.counter("dominance.links_added")
+        self._links_removed = metrics.counter("dominance.links_removed")
+        self._node_gauge = metrics.gauge("dominance.nodes")
+        self._link_gauge = metrics.gauge("dominance.links")
 
     # -- nodes ------------------------------------------------------------------
 
@@ -74,6 +89,8 @@ class DominanceGraph:
         self._out[node.key] = {}
         self._in_degree[node.key] = 0
         self._nondominated.add(node.key)
+        self._nodes_added.inc()
+        self._node_gauge.set(len(self._nodes))
         return node
 
     def remove_node(self, node: Node) -> list[Node]:
@@ -84,6 +101,7 @@ class DominanceGraph:
         if self._in_degree[node.key] != 0:
             raise OrderingError(f"cannot remove dominated node {node.plan}")
         freed = []
+        dropped_links = len(self._out[node.key])
         for target_key in self._out.pop(node.key):
             self._in_degree[target_key] -= 1
             if self._in_degree[target_key] == 0:
@@ -92,6 +110,10 @@ class DominanceGraph:
         del self._nodes[node.key]
         del self._in_degree[node.key]
         self._nondominated.discard(node.key)
+        self._nodes_removed.inc()
+        self._links_removed.inc(dropped_links)
+        self._node_gauge.set(len(self._nodes))
+        self._link_gauge.dec(dropped_links)
         return freed
 
     def __contains__(self, key: NodeKey) -> bool:
@@ -127,12 +149,16 @@ class DominanceGraph:
         targets[target.key] = []
         self._in_degree[target.key] += 1
         self._nondominated.discard(target.key)
+        self._links_added.inc()
+        self._link_gauge.inc()
 
     def remove_link(self, source_key: NodeKey, target_key: NodeKey) -> None:
         del self._out[source_key][target_key]
         self._in_degree[target_key] -= 1
         if self._in_degree[target_key] == 0:
             self._nondominated.add(target_key)
+        self._links_removed.inc()
+        self._link_gauge.dec()
 
     def links(self) -> list[tuple[Node, Node, list[QueryPlan]]]:
         """All links as (source node, target node, E set) triples."""

@@ -30,6 +30,8 @@ import heapq
 from typing import Optional, Sequence
 
 from repro.errors import OrderingError
+from repro.observability.metrics import MetricRegistry
+from repro.observability.tracing import NOOP_TRACER, Tracer
 from repro.ordering.abstraction import (
     AbstractionHeuristic,
     AbstractPlan,
@@ -47,13 +49,22 @@ def evaluate_plan_interval(
     utility: UtilityMeasure,
     context: ExecutionContext,
     stats: OrderingStats,
+    tracer: Tracer = NOOP_TRACER,
 ) -> Interval:
     """Interval of an abstract plan; point interval of a concrete one."""
     if plan.is_concrete:
-        value = utility.evaluate(plan.concrete_plan(), context)
+        if tracer.enabled:
+            with tracer.span("utility.eval"):
+                value = utility.evaluate(plan.concrete_plan(), context)
+        else:
+            value = utility.evaluate(plan.concrete_plan(), context)
         stats.note_concrete_evaluation()
         return Interval.point(value)
-    interval = utility.evaluate_slots(plan.slots_members(), context)
+    if tracer.enabled:
+        with tracer.span("utility.eval_slots"):
+            interval = utility.evaluate_slots(plan.slots_members(), context)
+    else:
+        interval = utility.evaluate_slots(plan.slots_members(), context)
     stats.note_abstract_evaluation()
     return interval
 
@@ -63,6 +74,7 @@ def drips_search(
     utility: UtilityMeasure,
     context: ExecutionContext,
     stats: OrderingStats,
+    tracer: Tracer = NOOP_TRACER,
 ) -> tuple[AbstractPlan, float]:
     """Find the best concrete plan represented by *pool*.
 
@@ -73,7 +85,7 @@ def drips_search(
 
     heap: list[tuple[float, tuple, AbstractPlan, Interval]] = []
     for plan in pool:
-        interval = evaluate_plan_interval(plan, utility, context, stats)
+        interval = evaluate_plan_interval(plan, utility, context, stats, tracer)
         heapq.heappush(heap, (-interval.hi, plan.key, plan, interval))
 
     while heap:
@@ -85,7 +97,7 @@ def drips_search(
         stats.refinements += 1
         for child in plan.refine():
             child_interval = evaluate_plan_interval(
-                child, utility, context, stats
+                child, utility, context, stats, tracer
             )
             heapq.heappush(
                 heap, (-child_interval.hi, child.key, child, child_interval)
@@ -109,10 +121,17 @@ class DripsPlanner:
         self,
         utility: UtilityMeasure,
         heuristic: Optional[AbstractionHeuristic] = None,
+        *,
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.utility = utility
         self.heuristic = heuristic or OutputCountHeuristic()
-        self.stats = OrderingStats()
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self.stats = OrderingStats(
+            registry=self.registry, prefix=f"ordering.{self.name}."
+        )
 
     def best_plan(
         self, space: PlanSpace, context: Optional[ExecutionContext] = None
@@ -120,6 +139,9 @@ class DripsPlanner:
         """The highest-utility plan of *space* and its utility."""
         if context is None:
             context = self.utility.new_context()
-        root = top_plan(space.buckets, self.heuristic)
-        winner, value = drips_search([root], self.utility, context, self.stats)
+        with self.tracer.span("drips.best_plan"):
+            root = top_plan(space.buckets, self.heuristic)
+            winner, value = drips_search(
+                [root], self.utility, context, self.stats, self.tracer
+            )
         return winner.concrete_plan(), value

@@ -51,13 +51,13 @@ class GreedyOrderer(PlanOrderer):
 
     name = "greedy"
 
-    def __init__(self, utility: UtilityMeasure) -> None:
+    def __init__(self, utility: UtilityMeasure, **instrumentation: object) -> None:
         if not utility.is_fully_monotonic:
             raise NotApplicableError(
                 f"Greedy requires a fully monotonic measure; "
                 f"{utility.name!r} is not"
             )
-        super().__init__(utility)
+        super().__init__(utility, **instrumentation)
 
     def order(
         self,
@@ -79,8 +79,7 @@ class GreedyOrderer(PlanOrderer):
 
         def entry(candidate_space: PlanSpace) -> tuple:
             plan = best_plan_of(candidate_space, self.utility)
-            value = self.utility.evaluate(plan, context)
-            self.stats.note_concrete_evaluation()
+            value = self._evaluate_plan(plan, context)
             # Ties broken by plan key for determinism.
             return (-value, plan.key, next(counter), plan, candidate_space)
 

@@ -39,8 +39,9 @@ class IDripsOrderer(PlanOrderer):
         self,
         utility: UtilityMeasure,
         heuristic: Optional[AbstractionHeuristic] = None,
+        **instrumentation: object,
     ) -> None:
-        super().__init__(utility)
+        super().__init__(utility, **instrumentation)
         self.heuristic = heuristic or OutputCountHeuristic()
 
     def order(
@@ -74,7 +75,10 @@ class IDripsOrderer(PlanOrderer):
                 AbstractPlan(trees, space_id)
                 for space_id, (_space, trees) in spaces.items()
             ]
-            winner, value = drips_search(pool, self.utility, context, self.stats)
+            with self.tracer.span("idrips.iteration", rank=rank):
+                winner, value = drips_search(
+                    pool, self.utility, context, self.stats, self.tracer
+                )
             plan = winner.concrete_plan()
             self.stats.snapshot_first_plan()
             yield OrderedPlan(plan, value, rank)

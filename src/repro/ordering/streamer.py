@@ -78,13 +78,14 @@ class StreamerOrderer(PlanOrderer):
         self,
         utility: UtilityMeasure,
         heuristic: Optional[AbstractionHeuristic] = None,
+        **instrumentation: object,
     ) -> None:
         if not utility.has_diminishing_returns:
             raise NotApplicableError(
                 f"Streamer requires utility-diminishing returns; "
                 f"{utility.name!r} does not provide it"
             )
-        super().__init__(utility)
+        super().__init__(utility, **instrumentation)
         self.heuristic = heuristic or OutputCountHeuristic()
 
     # -- main loop ---------------------------------------------------------------
@@ -105,7 +106,7 @@ class StreamerOrderer(PlanOrderer):
     ) -> Iterator[OrderedPlan]:
         self._check_k(k)
         context = self.utility.new_context()
-        graph = DominanceGraph()
+        graph = DominanceGraph(registry=self.registry)
         refine_heap: list[HeapEntry] = []  # max-heap by hi (negated)
         link_heap: list[HeapEntry] = []  # min-heap by hi
         pending: set[NodeKey] = set()
@@ -218,14 +219,12 @@ class StreamerOrderer(PlanOrderer):
 
     def _evaluate(self, node: Node, context: ExecutionContext) -> None:
         if node.is_concrete:
-            value = self.utility.evaluate(node.plan.concrete_plan(), context)
-            self.stats.note_concrete_evaluation()
+            value = self._evaluate_plan(node.plan.concrete_plan(), context)
             node.interval = Interval.point(value)
         else:
-            node.interval = self.utility.evaluate_slots(
+            node.interval = self._evaluate_slots(
                 node.plan.slots_members(), context
             )
-            self.stats.note_abstract_evaluation()
 
     def _update_champion(
         self,

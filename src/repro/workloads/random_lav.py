@@ -28,7 +28,13 @@ from typing import Optional
 from repro.datalog.query import ConjunctiveQuery
 from repro.datalog.terms import Atom, Variable
 from repro.errors import ReformulationError
-from repro.sources.catalog import Catalog
+from repro.reformulation.plans import Bucket, PlanSpace
+from repro.sources.catalog import Catalog, SourceDescription
+from repro.sources.overlap import OverlapModel
+from repro.sources.statistics import SourceStats
+from repro.utility.cost import BindJoinCost, LinearCost
+from repro.utility.coverage import CoverageUtility
+from repro.utility.monetary import MonetaryCostPerTuple
 
 
 @dataclass
@@ -131,6 +137,121 @@ def random_scenario(
     query = ConjunctiveQuery(Atom("q", head_vars), body)
 
     return RandomScenario(catalog, query, source_facts, schema_facts)
+
+
+@dataclass
+class OrderingScenario:
+    """A random LAV scenario dressed up as a plan-ordering domain.
+
+    The bucket algorithm's plan space over a :func:`random_scenario`
+    catalog, with every source re-equipped with randomized
+    :class:`SourceStats` and a random :class:`OverlapModel`, so all
+    four utility measures are evaluable.  Mirrors the factory API of
+    :class:`~repro.workloads.synthetic.SyntheticDomain`.
+
+    Transfer costs are deliberately *uniform* across sources so the
+    uniform-transfer bind-join measure really is fully monotonic
+    (Section 3's proviso) on these scenarios.
+    """
+
+    scenario: RandomScenario
+    space: PlanSpace
+    model: OverlapModel
+    domain_sizes: tuple[float, ...]
+
+    def coverage(self) -> CoverageUtility:
+        return CoverageUtility(self.model)
+
+    def linear_cost(self) -> LinearCost:
+        return LinearCost(access_overhead=1.0)
+
+    def bind_join_cost(self) -> BindJoinCost:
+        return BindJoinCost(
+            access_overhead=1.0,
+            domain_sizes=self.domain_sizes,
+            uniform_transfer=True,
+        )
+
+    def monetary(self) -> MonetaryCostPerTuple:
+        return MonetaryCostPerTuple(domain_sizes=self.domain_sizes)
+
+
+def ordering_scenario(
+    seed: int,
+    min_plans: int = 6,
+    universe_bits: int = 24,
+    **scenario_kwargs: object,
+) -> OrderingScenario:
+    """A random LAV scenario whose plan space supports ordering tests.
+
+    Draws :func:`random_scenario` instances at seeds derived
+    deterministically from *seed* until the bucket algorithm yields a
+    plan space with at least *min_plans* plans, then enriches it:
+
+    * every source gets randomized :class:`SourceStats` (one per
+      source *name* — a source appearing in several buckets keeps one
+      identity) with uniform transfer cost;
+    * every (bucket, source) pair gets a random extension bitmask in a
+      *universe_bits*-bit universe, forming the :class:`OverlapModel`.
+    """
+    from repro.reformulation.buckets import build_buckets
+
+    # Distinct stream from the scenario seeds; int-seeded so it stays
+    # deterministic across processes (str/tuple seeding hashes).
+    rng = random.Random(seed * 7919 + 13)
+    scenario = None
+    space = None
+    for attempt in range(100):
+        candidate_seed = seed * 1009 + attempt
+        candidate = random_scenario(candidate_seed, **scenario_kwargs)
+        try:
+            candidate_space = build_buckets(candidate.query, candidate.catalog)
+        except ReformulationError:
+            continue
+        if candidate_space.size >= min_plans:
+            scenario, space = candidate, candidate_space
+            break
+    if scenario is None or space is None:
+        raise ReformulationError(
+            f"no random scenario with >= {min_plans} plans near seed {seed}"
+        )
+
+    enriched: dict[str, SourceDescription] = {}
+    for bucket in space.buckets:
+        for source in bucket.sources:
+            if source.name not in enriched:
+                stats = SourceStats(
+                    n_tuples=rng.randint(1, 200),
+                    transfer_cost=1.0,
+                    failure_prob=rng.uniform(0.0, 0.3),
+                    access_fee=rng.uniform(0.5, 3.0),
+                    fee_per_item=rng.uniform(0.01, 0.2),
+                )
+                enriched[source.name] = SourceDescription(
+                    source.name, source.view, stats
+                )
+
+    buckets = tuple(
+        Bucket(
+            bucket.index,
+            tuple(enriched[source.name] for source in bucket.sources),
+            bucket.subgoal,
+        )
+        for bucket in space.buckets
+    )
+    rich_space = PlanSpace(buckets, space.query)
+
+    extensions = {
+        (bucket.index, source.name): rng.getrandbits(universe_bits) or 1
+        for bucket in buckets
+        for source in bucket.sources
+    }
+    model = OverlapModel([universe_bits] * len(buckets), extensions)
+    domain_sizes = tuple(
+        3.0 * max(source.stats.n_tuples for source in bucket.sources)
+        for bucket in buckets
+    )
+    return OrderingScenario(scenario, rich_space, model, domain_sizes)
 
 
 def certain_answers_three_ways(

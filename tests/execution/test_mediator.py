@@ -98,3 +98,58 @@ class TestSyntheticMediation:
         sound_union = set().union(*(b.answers for b in batches if b.sound))
         assert sound_union == {("a", "out1"), ("b", "out2")}
         assert sound_union == mediator.certain_answers(query)
+
+
+class TestMediatorObservability:
+    def test_counters_account_for_every_plan(self, movies):
+        from repro.observability.metrics import MetricRegistry
+
+        registry = MetricRegistry()
+        mediator = Mediator(
+            movies.catalog, movies.source_facts, registry=registry
+        )
+        batches = list(mediator.answer(movies.query, LinearCost()))
+        processed = registry.get("mediator.plans_processed").value
+        sound = registry.get("mediator.sound_plans").value
+        unsound = registry.get("mediator.unsound_plans").value
+        assert processed == len(batches)
+        assert sound + unsound == processed
+        assert sound == sum(1 for b in batches if b.sound)
+        new_answers = registry.get("mediator.new_answers").value
+        assert new_answers == sum(b.new_count for b in batches)
+
+    def test_tracer_spans_cover_pipeline_stages(self, movies):
+        from repro.observability.tracing import Tracer
+
+        tracer = Tracer()
+        mediator = Mediator(
+            movies.catalog, movies.source_facts, tracer=tracer
+        )
+        list(mediator.answer(movies.query, LinearCost()))
+        assert "mediator.reformulate" in tracer
+        assert tracer.get("mediator.soundness").calls > 0
+        assert tracer.get("mediator.execute").calls > 0
+
+    def test_orderer_adopts_mediator_tracer(self, movies):
+        from repro.observability.tracing import Tracer
+
+        tracer = Tracer()
+        mediator = Mediator(
+            movies.catalog, movies.source_facts, tracer=tracer
+        )
+        orderer = GreedyOrderer(LinearCost())
+        list(mediator.answer(movies.query, LinearCost(), orderer=orderer))
+        assert orderer.tracer is tracer
+        # The ordering's evaluations were recorded on the shared trace.
+        assert any("utility.eval" in path for path in tracer.paths())
+
+    def test_explicit_orderer_tracer_wins(self, movies):
+        from repro.observability.tracing import Tracer
+
+        mediator = Mediator(
+            movies.catalog, movies.source_facts, tracer=Tracer()
+        )
+        own = Tracer()
+        orderer = GreedyOrderer(LinearCost(), tracer=own)
+        list(mediator.answer(movies.query, LinearCost(), orderer=orderer))
+        assert orderer.tracer is own

@@ -86,3 +86,54 @@ class TestSweepSpecs:
     def test_query_length_spec(self):
         spec = query_length_spec(5)
         assert spec.query_length == 5
+
+
+class TestBreakdown:
+    def test_breakdown_spec_has_all_four_algorithms(self):
+        from repro.experiments.figure6 import breakdown_spec
+
+        names = [a.name for a in breakdown_spec().algorithms]
+        assert names == ["PI", "iDrips", "Streamer", "Greedy"]
+
+    def test_breakdown_rows_populate_evaluation_split(self):
+        from repro.experiments.figure6 import breakdown_spec
+
+        result = run_panel(breakdown_spec(k=3), bucket_sizes=(4,))
+        for algo in ("PI", "iDrips", "Streamer", "Greedy"):
+            row = result.row(algo, 4)
+            assert row.plans_evaluated == pytest.approx(
+                row.concrete_evaluations + row.abstract_evaluations
+            )
+        # iDrips abstracts; plain brute force does not.
+        assert result.row("iDrips", 4).abstract_evaluations > 0
+        assert result.row("PI", 4).abstract_evaluations == 0
+
+    def test_format_breakdown_lists_every_algorithm(self):
+        from repro.experiments.figure6 import breakdown_spec
+
+        result = run_panel(breakdown_spec(k=3), bucket_sizes=(4,))
+        text = result.format_breakdown()
+        for name in ("PI", "iDrips", "Streamer", "Greedy"):
+            assert name in text
+        assert "concrete" in text and "abstract" in text
+
+    def test_cached_breakdown_reports_hits(self):
+        from repro.experiments.figure6 import breakdown_spec
+
+        result = run_panel(breakdown_spec(k=3, cache=True), bucket_sizes=(4,))
+        assert any(row.cache_misses > 0 for row in result.rows)
+        assert all(row.cache_hits >= 0 for row in result.rows)
+
+    def test_as_dict_round_trips_through_json(self):
+        import json
+
+        from repro.experiments.figure6 import breakdown_spec
+
+        result = run_panel(breakdown_spec(k=2), bucket_sizes=(3,))
+        payload = json.loads(json.dumps(result.as_dict()))
+        assert payload["panel_id"] == "breakdown"
+        assert len(payload["rows"]) == 4
+        row = payload["rows"][0]
+        assert {"algorithm", "seconds", "plans_evaluated",
+                "concrete_evaluations", "abstract_evaluations",
+                "cache_hits", "cache_misses"} <= set(row)

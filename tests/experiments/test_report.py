@@ -49,3 +49,45 @@ class TestCLIs:
         assert report_main(["--quick", "--panel", "a"]) == 0
         out = capsys.readouterr().out
         assert "Panel 6.a" in out
+
+
+class TestBreakdownReport:
+    def test_breakdown_markdown_table(self):
+        from repro.experiments.figure6 import breakdown_spec
+        from repro.experiments.harness import run_panel
+        from repro.experiments.report import breakdown_markdown
+
+        result = run_panel(breakdown_spec(k=2), bucket_sizes=(3,))
+        text = breakdown_markdown(result)
+        assert "| algorithm |" in text
+        assert "Greedy" in text and "Streamer" in text
+        assert "cache hits/misses" in text
+
+    def test_report_includes_breakdown_section(self):
+        from repro.experiments.report import build_report
+
+        report = build_report(["a"], bucket_sizes=(3,))
+        assert "## Evaluation breakdown" in report
+        assert "all four algorithms" in report
+
+    def test_figure6_metrics_out(self, capsys, tmp_path):
+        import json
+
+        from repro.experiments.figure6 import main as fig_main
+
+        path = tmp_path / "panels.json"
+        assert fig_main(
+            ["--quick", "--panel", "a", "--metrics-out", str(path)]
+        ) == 0
+        assert f"wrote panel metrics to {path}" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert "6.a" in payload
+        assert payload["6.a"]["rows"]
+
+    def test_figure6_breakdown_flag(self, capsys):
+        from repro.experiments.figure6 import main as fig_main
+
+        assert fig_main(["--quick", "--panel", "a", "--breakdown"]) == 0
+        out = capsys.readouterr().out
+        assert "evaluation breakdown" in out
+        assert "Greedy" in out

@@ -1,0 +1,140 @@
+"""Tests for the metric registry and its exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_set(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        counter.set(2)
+        assert counter.value == 2
+
+    def test_as_dict(self):
+        counter = Counter("c")
+        counter.inc(3)
+        assert counter.as_dict() == {"kind": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_observe_updates_aggregates(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0))
+        for value in (0.5, 1.5, 3.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(5.0)
+        assert histogram.mean == pytest.approx(5.0 / 3)
+        assert histogram.min == 0.5
+        assert histogram.max == 3.0
+        assert histogram.bucket_counts == [1, 1, 1]
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2.0, 1.0))
+
+    def test_timer_observes_block(self):
+        histogram = Histogram("h")
+        with histogram.time():
+            pass
+        assert histogram.count == 1
+
+    def test_as_dict_buckets(self):
+        histogram = Histogram("h", bounds=(1.0,))
+        histogram.observe(0.5)
+        histogram.observe(2.0)
+        payload = histogram.as_dict()
+        assert payload["buckets"] == {"le_1": 1, "le_inf": 1}
+        assert payload["count"] == 2
+
+    def test_empty_histogram_dict_has_zero_extremes(self):
+        payload = Histogram("h").as_dict()
+        assert payload["min"] == 0.0
+        assert payload["max"] == 0.0
+        assert payload["mean"] == 0.0
+
+
+class TestMetricRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_introspection(self):
+        registry = MetricRegistry()
+        registry.counter("one").inc()
+        assert len(registry) == 1
+        assert "one" in registry
+        assert "two" not in registry
+        assert list(registry.names()) == ["one"]
+        assert registry.get("two") is None
+
+    def test_as_dict_sorted_by_name(self):
+        registry = MetricRegistry()
+        registry.counter("z").inc(1)
+        registry.counter("a").inc(2)
+        assert list(registry.as_dict()) == ["a", "z"]
+
+    def test_to_json_with_extra_sections(self):
+        registry = MetricRegistry()
+        registry.counter("hits").inc(7)
+        payload = json.loads(registry.to_json(extra={"algorithm": "greedy"}))
+        assert payload["algorithm"] == "greedy"
+        assert payload["metrics"]["hits"]["value"] == 7
+
+    def test_to_csv_flat_rows(self):
+        registry = MetricRegistry()
+        registry.counter("hits").inc(3)
+        registry.histogram("lat", bounds=(1.0,)).observe(0.5)
+        rows = list(csv.reader(io.StringIO(registry.to_csv())))
+        assert rows[0] == ["name", "kind", "field", "value"]
+        assert ["hits", "counter", "value", "3"] in rows
+        assert ["lat", "histogram", "buckets.le_1", "1"] in rows
+
+    def test_write_json_and_csv(self, tmp_path):
+        registry = MetricRegistry()
+        registry.counter("n").inc(2)
+        json_path = tmp_path / "metrics.json"
+        csv_path = tmp_path / "metrics.csv"
+        registry.write_json(str(json_path), extra={"run": 1})
+        registry.write_csv(str(csv_path))
+        payload = json.loads(json_path.read_text())
+        assert payload["run"] == 1
+        assert payload["metrics"]["n"]["value"] == 2
+        assert "n,counter,value,2" in csv_path.read_text()
+
+    def test_reset_drops_metrics(self):
+        registry = MetricRegistry()
+        registry.counter("n").inc()
+        registry.reset()
+        assert len(registry) == 0

@@ -1,0 +1,122 @@
+"""Tests for the tracing spans and the stopwatch primitive."""
+
+import pytest
+
+from repro.observability.tracing import (
+    NOOP_TRACER,
+    Stopwatch,
+    Tracer,
+)
+
+
+class TestStopwatch:
+    def test_context_manager_measures_elapsed(self):
+        with Stopwatch() as watch:
+            pass
+        assert watch.elapsed >= 0.0
+
+    def test_explicit_start_stop(self):
+        watch = Stopwatch()
+        watch.start()
+        elapsed = watch.stop()
+        assert elapsed == watch.elapsed >= 0.0
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+
+class TestTracer:
+    def test_single_span_recorded(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        stats = tracer.get("work")
+        assert stats is not None
+        assert stats.calls == 1
+        assert stats.total_s >= 0.0
+
+    def test_nested_spans_aggregate_by_path(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+        assert tracer.get("outer").calls == 3
+        assert tracer.get("inner/outer") is None
+        assert tracer.get("outer/inner").calls == 3
+        assert "outer/inner" in tracer
+        assert sorted(tracer.paths()) == ["outer", "outer/inner"]
+
+    def test_sibling_spans_do_not_nest(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert "second" in tracer
+        assert "first/second" not in tracer
+
+    def test_attributes_recorded(self):
+        tracer = Tracer()
+        with tracer.span("order", k=10) as span:
+            span.set_attribute("size", 64)
+        payload = tracer.get("order").as_dict()
+        assert payload["attributes"] == {"k": 10, "size": 64}
+
+    def test_as_dict_shape(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        payload = tracer.as_dict()["a"]
+        assert set(payload) >= {"calls", "total_s", "mean_s", "min_s", "max_s"}
+        assert payload["calls"] == 1
+        assert payload["min_s"] <= payload["mean_s"] <= payload["max_s"]
+
+    def test_format_table_lists_every_path(self):
+        tracer = Tracer()
+        with tracer.span("alpha"):
+            with tracer.span("beta"):
+                pass
+        table = tracer.format_table()
+        assert "alpha" in table
+        assert "alpha/beta" in table
+        assert "calls" in table
+
+    def test_reset_clears_spans(self):
+        tracer = Tracer()
+        with tracer.span("gone"):
+            pass
+        tracer.reset()
+        assert len(tracer) == 0
+        assert tracer.get("gone") is None
+
+    def test_exception_still_records_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("fails"):
+                raise ValueError("boom")
+        assert tracer.get("fails").calls == 1
+        # The stack unwound: the next span is top-level again.
+        with tracer.span("after"):
+            pass
+        assert "after" in tracer
+        assert "fails/after" not in tracer
+
+
+class TestNoopTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("invisible"):
+            pass
+        assert len(tracer) == 0
+
+    def test_noop_span_is_shared(self):
+        first = NOOP_TRACER.span("a")
+        second = NOOP_TRACER.span("b", attr=1)
+        assert first is second
+
+    def test_noop_span_tolerates_attributes(self):
+        with NOOP_TRACER.span("x") as span:
+            span.set_attribute("k", 3)
+        assert len(NOOP_TRACER) == 0

@@ -3,6 +3,9 @@
 import pytest
 
 from repro.errors import OrderingError
+from repro.observability.caching import CachingUtilityMeasure
+from repro.observability.metrics import MetricRegistry
+from repro.observability.tracing import NOOP_TRACER, Tracer
 from repro.ordering.base import OrderedPlan, OrderingStats, PlanOrderer, timed_ordering
 from repro.ordering.bruteforce import PIOrderer
 
@@ -68,6 +71,54 @@ class TestOrdererPlumbing:
         plans, seconds = timed_ordering(orderer, tiny_domain.space, 3)
         assert len(plans) == 3
         assert seconds >= 0.0
+
+    def test_timed_ordering_returns_ordered_plans(self, tiny_domain):
+        """The (plans, elapsed) shape is API: plans are OrderedPlan
+        records in rank order, elapsed is a float."""
+        orderer = PIOrderer(tiny_domain.linear_cost())
+        plans, seconds = timed_ordering(orderer, tiny_domain.space, 3)
+        assert isinstance(seconds, float)
+        assert all(isinstance(entry, OrderedPlan) for entry in plans)
+        assert [entry.rank for entry in plans] == [1, 2, 3]
+
+    def test_timed_ordering_records_span_when_traced(self, tiny_domain):
+        tracer = Tracer()
+        orderer = PIOrderer(tiny_domain.linear_cost(), tracer=tracer)
+        timed_ordering(orderer, tiny_domain.space, 3)
+        span = tracer.get("PI.order")
+        assert span is not None and span.calls == 1
+        # The per-evaluation spans nest under the ordering span.
+        assert tracer.get("PI.order/utility.eval").calls > 0
+        # The span agrees with the stopwatch up to measurement noise —
+        # both wrap the same order_list call.
+        _plans, elapsed = timed_ordering(orderer, tiny_domain.space, 3)
+        assert tracer.get("PI.order").calls == 2
+        assert elapsed >= 0.0
+
+
+class TestInstrumentationPlumbing:
+    def test_default_tracer_is_shared_noop(self, tiny_domain):
+        orderer = PIOrderer(tiny_domain.linear_cost())
+        assert orderer.tracer is NOOP_TRACER
+
+    def test_cache_kwarg_wraps_utility(self, tiny_domain):
+        orderer = PIOrderer(tiny_domain.linear_cost(), cache=True)
+        assert isinstance(orderer.utility, CachingUtilityMeasure)
+        orderer.order_list(tiny_domain.space, 3)
+        assert orderer.registry.get("utility_cache.misses").value > 0
+
+    def test_cache_kwarg_does_not_stack(self, tiny_domain):
+        cached = CachingUtilityMeasure(tiny_domain.linear_cost())
+        orderer = PIOrderer(cached, cache=True)
+        assert orderer.utility is cached
+
+    def test_stats_live_in_registry_under_algorithm_prefix(self, tiny_domain):
+        registry = MetricRegistry()
+        orderer = PIOrderer(tiny_domain.linear_cost(), registry=registry)
+        orderer.order_list(tiny_domain.space, 3)
+        counter = registry.get("ordering.PI.plans_evaluated")
+        assert counter is not None
+        assert counter.value == orderer.stats.plans_evaluated > 0
 
     def test_generators_are_lazy(self, small_domain):
         """Pulling one plan must not do the work for all k."""

@@ -5,6 +5,8 @@ emitted sequence must be a valid greedy-max ordering; on tie-free
 measures all algorithms must produce identical utility sequences.
 """
 
+import functools
+
 import pytest
 
 from tests.conftest import assert_valid_ordering
@@ -13,6 +15,7 @@ from repro.ordering.bruteforce import ExhaustiveOrderer, PIOrderer
 from repro.ordering.greedy import GreedyOrderer
 from repro.ordering.idrips import IDripsOrderer
 from repro.ordering.streamer import StreamerOrderer
+from repro.workloads.random_lav import ordering_scenario
 from repro.workloads.synthetic import SyntheticParams, generate_domain
 
 SEEDS = [1, 2, 3, 4]
@@ -92,6 +95,77 @@ def test_coverage_agreement_across_overlap_rates(overlap):
     assert [r.utility for r in idrips] == pytest.approx(
         [r.utility for r in pi]
     )
+
+
+#: Satellite property sweep: random LAV scenarios, >= 20 seeds.
+RANDOM_LAV_SEEDS = list(range(20))
+
+#: The four utility-measure families, via OrderingScenario factories.
+RANDOM_LAV_MEASURES = ("linear_cost", "bind_join_cost", "coverage", "monetary")
+
+
+@functools.lru_cache(maxsize=None)
+def lav_scenario(seed: int):
+    return ordering_scenario(seed)
+
+
+def lav_orderers(scenario, measure_name):
+    """Brute force, iDrips, Streamer, and (where sound) Greedy."""
+    make = getattr(scenario, measure_name)
+    orderers = [ExhaustiveOrderer(make()), PIOrderer(make()),
+                IDripsOrderer(make())]
+    measure = make()
+    if measure.has_diminishing_returns:
+        orderers.append(StreamerOrderer(make()))
+    if measure.is_fully_monotonic:
+        orderers.append(GreedyOrderer(make()))
+    return orderers
+
+
+@pytest.mark.parametrize("seed", RANDOM_LAV_SEEDS)
+@pytest.mark.parametrize("measure_name", RANDOM_LAV_MEASURES)
+def test_random_lav_orderings_valid(seed, measure_name):
+    """Definition 2.1 holds on bucket spaces of random LAV scenarios,
+    not just on the synthetic generator's."""
+    scenario = lav_scenario(seed)
+    k = min(6, scenario.space.size)
+    for orderer in lav_orderers(scenario, measure_name):
+        results = orderer.order_list(scenario.space, k)
+        assert len(results) == k, f"{orderer.name} returned too few plans"
+        assert_valid_ordering(
+            results, scenario.space, getattr(scenario, measure_name)()
+        ), f"{orderer.name} on {measure_name}, seed {seed}"
+
+
+@pytest.mark.parametrize("seed", RANDOM_LAV_SEEDS)
+@pytest.mark.parametrize("measure_name", RANDOM_LAV_MEASURES)
+def test_random_lav_same_topk_utilities(seed, measure_name):
+    """All applicable algorithms emit the same top-k utility sequence.
+
+    Utility sequences (not plan sequences) are tie-robust for the
+    monotone measures; the fixed seeds keep the context-sensitive
+    cases deterministic.
+    """
+    scenario = lav_scenario(seed)
+    k = min(6, scenario.space.size)
+    sequences = []
+    for orderer in lav_orderers(scenario, measure_name):
+        results = orderer.order_list(scenario.space, k)
+        sequences.append([r.utility for r in results])
+    for other in sequences[1:]:
+        assert other == pytest.approx(sequences[0]), (
+            f"{measure_name}, seed {seed}"
+        )
+
+
+def test_random_lav_greedy_applies_to_both_monotone_measures():
+    """The uniform-transfer construction really yields fully monotonic
+    bind-join costs (Section 3's proviso)."""
+    scenario = lav_scenario(0)
+    assert scenario.linear_cost().is_fully_monotonic
+    assert scenario.bind_join_cost().is_fully_monotonic
+    assert not scenario.coverage().is_fully_monotonic
+    assert not scenario.monetary().is_fully_monotonic
 
 
 def test_query_length_one():

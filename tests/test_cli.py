@@ -60,6 +60,78 @@ class TestOrder:
         assert "plans_evaluated:" in out
 
 
+class TestOrderObservability:
+    def test_trace_prints_span_table(self, capsys):
+        assert (
+            main(
+                [
+                    "order",
+                    "--algorithm", "idrips",
+                    "--measure", "linear",
+                    "--bucket-size", "4",
+                    "-k", "2",
+                    "--trace",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "span" in out
+        assert "utility.eval" in out
+
+    def test_no_trace_no_span_table(self, capsys):
+        main(["order", "--bucket-size", "4", "-k", "2"])
+        assert "utility.eval" not in capsys.readouterr().out
+
+    def test_metrics_out_writes_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "order",
+                    "--algorithm", "idrips",
+                    "--measure", "linear",
+                    "--bucket-size", "4",
+                    "-k", "2",
+                    "--cache",
+                    "--metrics-out", str(path),
+                ]
+            )
+            == 0
+        )
+        assert f"wrote metrics to {path}" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert payload["algorithm"] == "iDrips"
+        assert payload["measure"].startswith("linear-cost")
+        # Per-algorithm span timings:
+        assert any("utility.eval" in span for span in payload["spans"])
+        # Evaluation and cache hit/miss counters:
+        metrics = payload["metrics"]
+        assert metrics["ordering.iDrips.plans_evaluated"]["value"] > 0
+        assert "utility_cache.hits" in metrics
+        assert "utility_cache.misses" in metrics
+        assert metrics["utility_cache.misses"]["value"] > 0
+
+    def test_cache_preserves_printed_ordering(self, capsys):
+        args = [
+            "order", "--algorithm", "pi", "--measure", "linear",
+            "--bucket-size", "4", "-k", "3",
+        ]
+        main(args)
+        plain = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.lstrip().startswith("#")
+        ]
+        main(args + ["--cache"])
+        cached = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.lstrip().startswith("#")
+        ]
+        assert cached == plain
+
+
 class TestSimulate:
     def test_simulate_reports_both_orders(self, capsys):
         assert main(["simulate", "--bucket-size", "4", "-k", "5"]) == 0

@@ -69,3 +69,48 @@ def test_single_subgoal_views_make_buckets_complete(seed):
     )
     assert minicon_answers == inverse_answers
     assert bucket_answers == inverse_answers, str(scenario.query)
+
+
+class TestOrderingScenario:
+    def test_deterministic_per_seed(self):
+        from repro.workloads.random_lav import ordering_scenario
+
+        a = ordering_scenario(4)
+        b = ordering_scenario(4)
+        assert [p.key for p in a.space.plans()] == [
+            p.key for p in b.space.plans()
+        ]
+        for plan_a, plan_b in zip(a.space.plans(), b.space.plans()):
+            for src_a, src_b in zip(plan_a.sources, plan_b.sources):
+                assert src_a.stats == src_b.stats
+
+    def test_space_meets_minimum_size(self):
+        from repro.workloads.random_lav import ordering_scenario
+
+        scenario = ordering_scenario(1, min_plans=8)
+        assert scenario.space.size >= 8
+
+    def test_every_source_has_extension_and_stats(self):
+        from repro.workloads.random_lav import ordering_scenario
+
+        scenario = ordering_scenario(2)
+        for bucket in scenario.space.buckets:
+            for source in bucket.sources:
+                assert scenario.model.has_extension(bucket.index, source.name)
+                assert source.stats.n_tuples >= 1
+                assert source.stats.transfer_cost == 1.0  # uniform
+
+    def test_all_four_measures_evaluable(self):
+        from repro.workloads.random_lav import ordering_scenario
+
+        scenario = ordering_scenario(3)
+        plan = next(scenario.space.plans())
+        for make in (
+            scenario.coverage,
+            scenario.linear_cost,
+            scenario.bind_join_cost,
+            scenario.monetary,
+        ):
+            measure = make()
+            value = measure.evaluate(plan, measure.new_context())
+            assert isinstance(value, float)
