@@ -70,6 +70,15 @@ from repro.reformulation import (
     minicon_plan_queries,
     plan_query,
 )
+from repro.service import (
+    CancellationToken,
+    PipelinedSession,
+    QueryRequest,
+    QueryService,
+    RequestPolicy,
+    RetryPolicy,
+    ServiceConfig,
+)
 from repro.sources import Catalog, OverlapModel, SourceDescription, SourceStats
 from repro.utility import (
     BindJoinCost,
@@ -95,6 +104,7 @@ __all__ = [
     "BindJoinCost",
     "Bucket",
     "CachingUtilityMeasure",
+    "CancellationToken",
     "Catalog",
     "CatalogError",
     "ConjunctiveQuery",
@@ -119,12 +129,18 @@ __all__ = [
     "OutputCountHeuristic",
     "PIOrderer",
     "ParseError",
+    "PipelinedSession",
     "PlanOrderer",
     "PlanSpace",
     "QueryPlan",
+    "QueryRequest",
+    "QueryService",
     "RandomHeuristic",
     "ReformulationError",
     "ReproError",
+    "RequestPolicy",
+    "RetryPolicy",
+    "ServiceConfig",
     "SourceDescription",
     "SourceStats",
     "StreamerOrderer",

@@ -17,6 +17,12 @@ Commands
 ``simulate``
     Order a synthetic domain by expected cost, then execute the plans
     on the virtual-clock simulator, best-first versus worst-first.
+``serve``
+    Start the JSON-lines TCP query service over a workload's catalog
+    (:mod:`repro.service`).
+``bench-serve``
+    Replay a random query mix against a served catalog and report
+    throughput plus first/last-answer latency percentiles.
 """
 
 from __future__ import annotations
@@ -136,11 +142,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         entry.plan
         for entry in PIOrderer(utility).order(domain.space, args.k)
     ]
+    # The domain seed shapes *what* is executed; the simulator seed
+    # shapes *how* execution goes (failures, delays).  Decoupling them
+    # lets one domain be replayed under many failure draws.
+    sim_seed = args.sim_seed if args.sim_seed is not None else args.seed
     simulator = ExecutionSimulator(
-        access_overhead=1.0, domain_sizes=domain.domain_sizes, seed=args.seed
+        access_overhead=1.0, domain_sizes=domain.domain_sizes, seed=sim_seed
     )
     best_first = simulator.run_ordering(ordered)
-    simulator.reset(seed=args.seed)
+    simulator.reset(seed=sim_seed)
     worst_first = simulator.run_ordering(list(reversed(ordered)))
     print(f"{args.k} plans executed on the virtual clock:")
     print(
@@ -152,6 +162,123 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"all done at t={worst_first.total_time:.1f}"
     )
     return 0
+
+
+def _service_workload(name: str, seed: int):
+    """(catalog, source_facts, measure factories, canonical query)."""
+    if name == "movies":
+        from repro.utility.cost import LinearCost
+        from repro.workloads.movies import movie_domain
+
+        domain = movie_domain()
+        return (
+            domain.catalog,
+            domain.source_facts,
+            {"linear": LinearCost},
+            domain.query,
+        )
+    from repro.workloads.random_lav import ordering_scenario
+
+    scenario = ordering_scenario(seed)
+    measures = {
+        "linear": scenario.linear_cost,
+        "bind-join": scenario.bind_join_cost,
+        "coverage": scenario.coverage,
+        "monetary": scenario.monetary,
+    }
+    return (
+        scenario.scenario.catalog,
+        scenario.scenario.source_facts,
+        measures,
+        scenario.scenario.query,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.service.frontend import start_server
+    from repro.service.policy import RequestPolicy
+    from repro.service.server import QueryService, ServiceConfig
+
+    catalog, facts, measures, _ = _service_workload(args.workload, args.seed)
+    config = ServiceConfig(
+        max_concurrent=args.max_concurrent,
+        backlog=args.backlog,
+        default_policy=RequestPolicy(deadline_s=args.deadline),
+        trace_requests=args.trace,
+    )
+    service = QueryService(catalog, facts, measures=measures, config=config)
+    server, _thread = start_server(service, host=args.host, port=args.port)
+    stop = threading.Event()
+    try:
+        # SIGTERM too, so `kill` from CI (where a backgrounded process
+        # ignores SIGINT) still shuts down cleanly.
+        signal.signal(signal.SIGINT, lambda *_: stop.set())
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    except ValueError:
+        pass  # not on the main thread (e.g. under a test harness)
+    print(
+        f"serving {args.workload} on {server.server_address[0]}:{server.port} "
+        f"(measures: {', '.join(sorted(measures))}; Ctrl-C to stop)",
+        flush=True,
+    )
+    try:
+        while not stop.is_set():
+            stop.wait(0.2)
+    except KeyboardInterrupt:
+        pass
+    print("shutting down", flush=True)
+    server.shutdown()
+    server.server_close()
+    service.shutdown()
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.service.loadgen import build_query_mix, run_load
+
+    catalog, facts, measures, query = _service_workload(args.workload, args.seed)
+    mix = build_query_mix(catalog, args.queries, seed=args.seed, include=query)
+    server = service = None
+    if args.connect:
+        host, _, port_text = args.connect.rpartition(":")
+        host = host or "127.0.0.1"
+        port = int(port_text)
+    else:
+        from repro.service.frontend import start_server
+        from repro.service.server import QueryService, ServiceConfig
+
+        service = QueryService(
+            catalog,
+            facts,
+            measures=measures,
+            config=ServiceConfig(max_concurrent=args.max_concurrent),
+        )
+        server, _thread = start_server(service)
+        host, port = "127.0.0.1", server.port
+    try:
+        report = run_load(
+            host,
+            port,
+            mix,
+            requests=args.requests,
+            concurrency=args.concurrency,
+            deadline_s=args.deadline,
+            first_k_answers=args.first_k,
+        )
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+            service.shutdown()
+    print(
+        f"{args.requests} requests x {args.concurrency} connections "
+        f"over {len(mix)} queries ({args.workload}):"
+    )
+    print(report.format_table())
+    return 0 if report.errors == 0 else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -204,7 +331,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     simulate.add_argument("--bucket-size", type=int, default=8)
     simulate.add_argument("--query-length", type=int, default=3)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--sim-seed", type=int, default=None,
+                          help="simulator RNG seed (failures/delays); "
+                               "defaults to --seed")
     simulate.add_argument("-k", type=int, default=10)
+
+    serve = sub.add_parser("serve", help="JSON-lines TCP query service")
+    serve.add_argument("--workload", default="movies",
+                       choices=("movies", "random-lav"))
+    serve.add_argument("--seed", type=int, default=0,
+                       help="workload seed (random-lav)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7462,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--max-concurrent", type=int, default=8,
+                       help="admission-control concurrency cap")
+    serve.add_argument("--backlog", type=int, default=32,
+                       help="bounded work-queue depth before overload")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="default per-request deadline in seconds")
+    serve.add_argument("--trace", action="store_true",
+                       help="attach per-request span trees to summaries")
+
+    bench = sub.add_parser("bench-serve",
+                           help="load-generate against the query service")
+    bench.add_argument("--workload", default="movies",
+                       choices=("movies", "random-lav"))
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--connect", metavar="HOST:PORT", default=None,
+                       help="drive an already-running server instead of "
+                            "starting one in-process")
+    bench.add_argument("--requests", type=int, default=50)
+    bench.add_argument("--concurrency", type=int, default=4,
+                       help="concurrent client connections")
+    bench.add_argument("--queries", type=int, default=8,
+                       help="size of the random query mix")
+    bench.add_argument("--max-concurrent", type=int, default=8,
+                       help="server concurrency cap (in-process mode)")
+    bench.add_argument("--deadline", type=float, default=None,
+                       help="per-request deadline in seconds")
+    bench.add_argument("--first-k", type=int, default=None,
+                       help="stop each request after k answers")
 
     args = parser.parse_args(argv)
     if args.command == "demo":
@@ -213,6 +380,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_order(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "bench-serve":
+        return _cmd_bench_serve(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

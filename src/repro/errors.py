@@ -46,3 +46,23 @@ class NotApplicableError(OrderingError):
 
 class ExecutionError(ReproError):
     """Raised by the plan execution engine and the mediator."""
+
+
+class TransientExecutionError(ExecutionError):
+    """A plan execution failed in a retryable way (source flake).
+
+    The service layer's retry policy treats this — and only this —
+    error as recoverable; anything else aborts the request.
+    """
+
+
+class ServiceError(ReproError):
+    """Raised by the concurrent query service layer."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's bounded work queue is full (backpressure)."""
+
+
+class ProtocolError(ServiceError):
+    """A malformed record on the JSON-lines wire protocol."""

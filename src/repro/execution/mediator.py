@@ -13,10 +13,18 @@ Given a user query, the mediator
 
 Consumers can stop iterating as soon as they are satisfied — the
 "first answers fast" behaviour the paper optimizes for.
+
+:meth:`Mediator.answer` is the strictly sequential reference path:
+one thread does ordering, soundness, and execution in lockstep.  The
+:mod:`repro.service` layer overlaps those stages across threads while
+producing the identical batch stream; it builds on the helper methods
+exposed here (:meth:`reformulate`, :meth:`check_soundness`,
+:meth:`execution_database`, :meth:`record_batch`).
 """
 
 from __future__ import annotations
 
+import types
 from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping, Optional
 
@@ -29,7 +37,7 @@ from repro.ordering.base import PlanOrderer
 from repro.ordering.bruteforce import PIOrderer
 from repro.reformulation.buckets import build_buckets
 from repro.reformulation.inverse_rules import answer_with_inverse_rules
-from repro.reformulation.plans import QueryPlan
+from repro.reformulation.plans import PlanSpace, QueryPlan
 from repro.reformulation.soundness import plan_query
 from repro.sources.catalog import Catalog
 from repro.utility.base import UtilityMeasure
@@ -79,8 +87,60 @@ class Mediator:
         self._answers_emitted = self.registry.counter("mediator.answers_emitted")
         self._new_answers = self.registry.counter("mediator.new_answers")
 
-    def _database(self) -> dict[str, set[tuple[object, ...]]]:
-        return self.source_facts
+    def execution_database(self) -> Mapping[str, set[tuple[object, ...]]]:
+        """A read-only view of the source instances for plan execution.
+
+        Execution engines (and, in the service layer, concurrent
+        executor workers) must not be able to add or drop whole source
+        relations; handing out a mapping proxy instead of the live
+        dict makes that structurally impossible.
+        """
+        return types.MappingProxyType(self.source_facts)
+
+    # Kept as the historical internal name.
+    _database = execution_database
+
+    # -- pipeline stages ---------------------------------------------------------
+    #
+    # ``answer`` composes these; the service layer's PipelinedSession
+    # runs them on separate threads.  Each stage is safe to call on
+    # its own.
+
+    def reformulate(self, query: ConjunctiveQuery) -> PlanSpace:
+        """Build the bucket plan space for *query* (traced)."""
+        with self.tracer.span("mediator.reformulate"):
+            return build_buckets(query, self.catalog)
+
+    def check_soundness(
+        self, query: ConjunctiveQuery, plan: QueryPlan
+    ) -> Optional[ConjunctiveQuery]:
+        """The plan's executable source-level query, or None if unsound."""
+        with self.tracer.span("mediator.soundness"):
+            return plan_query(query, plan)
+
+    def execute_query(
+        self, executable: ConjunctiveQuery
+    ) -> frozenset[tuple[object, ...]]:
+        """Evaluate a (sound) plan's query over the source instances."""
+        with self.tracer.span("mediator.execute"):
+            return frozenset(
+                evaluate_conjunctive_query(executable, self.execution_database())
+            )
+
+    def record_batch(self, batch: AnswerBatch) -> None:
+        """Fold one processed plan into the ``mediator.*`` counters."""
+        self._plans_processed.inc()
+        if batch.sound:
+            self._sound_plans.inc()
+            self._answers_emitted.inc(len(batch.answers))
+            self._new_answers.inc(batch.new_count)
+        else:
+            self._unsound_plans.inc()
+
+    def resolve_budget(self, space: PlanSpace, max_plans: Optional[int]) -> int:
+        return space.size if max_plans is None else min(max_plans, space.size)
+
+    # -- the sequential anytime loop ---------------------------------------------
 
     def answer(
         self,
@@ -94,14 +154,15 @@ class Mediator:
         ``max_plans`` bounds how many plans (sound or not) are pulled
         from the ordering; by default the whole plan space is drained.
         """
-        with self.tracer.span("mediator.reformulate"):
-            space = build_buckets(query, self.catalog)
+        space = self.reformulate(query)
         if orderer is None:
             orderer = self.orderer_factory(utility)
+        adopted_tracer = False
         if orderer.tracer is NOOP_TRACER and self.tracer.enabled:
             # Let the ordering spans nest under the mediator's trace.
             orderer.tracer = self.tracer
-        budget = space.size if max_plans is None else min(max_plans, space.size)
+            adopted_tracer = True
+        budget = self.resolve_budget(space, max_plans)
 
         soundness: dict[tuple[str, ...], bool] = {}
 
@@ -116,35 +177,37 @@ class Mediator:
                 ) from None
 
         seen: set[tuple[object, ...]] = set()
-        for ordered in orderer.order(space, budget, on_emit=on_emit):
-            self._plans_processed.inc()
-            with self.tracer.span("mediator.soundness"):
-                executable = plan_query(query, ordered.plan)
-            sound = executable is not None
-            soundness[ordered.plan.key] = sound
-            if not sound:
-                self._unsound_plans.inc()
-                yield AnswerBatch(
-                    ordered.rank,
-                    ordered.plan,
-                    ordered.utility,
-                    False,
-                    frozenset(),
-                    frozenset(),
+        try:
+            for ordered in orderer.order(space, budget, on_emit=on_emit):
+                executable = self.check_soundness(query, ordered.plan)
+                sound = executable is not None
+                soundness[ordered.plan.key] = sound
+                if not sound:
+                    batch = AnswerBatch(
+                        ordered.rank,
+                        ordered.plan,
+                        ordered.utility,
+                        False,
+                        frozenset(),
+                        frozenset(),
+                    )
+                    self.record_batch(batch)
+                    yield batch
+                    continue
+                answers = self.execute_query(executable)
+                new = frozenset(answers - seen)
+                seen.update(answers)
+                batch = AnswerBatch(
+                    ordered.rank, ordered.plan, ordered.utility, True, answers, new
                 )
-                continue
-            self._sound_plans.inc()
-            with self.tracer.span("mediator.execute"):
-                answers = frozenset(
-                    evaluate_conjunctive_query(executable, self._database())
-                )
-            new = frozenset(answers - seen)
-            seen.update(answers)
-            self._answers_emitted.inc(len(answers))
-            self._new_answers.inc(len(new))
-            yield AnswerBatch(
-                ordered.rank, ordered.plan, ordered.utility, True, answers, new
-            )
+                self.record_batch(batch)
+                yield batch
+        finally:
+            # Whether the iteration finished, broke early, or raised:
+            # an adopted tracer must not leak into the caller's orderer,
+            # so the orderer can be reused across mediators.
+            if adopted_tracer:
+                orderer.tracer = NOOP_TRACER
 
     def answer_all(
         self,

@@ -15,6 +15,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+import threading
 from typing import Iterator, Optional, Sequence
 
 from repro.observability.tracing import Stopwatch
@@ -145,17 +146,33 @@ class MetricRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        # Registration is serialized so concurrent sessions sharing one
+        # registry cannot race two metric objects under the same name
+        # (updates to the loser would be silently lost).  Updates to a
+        # registered metric stay lock-free.
+        self._lock = threading.Lock()
 
     def _get_or_create(self, name: str, factory, kind: str):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = self._metrics[name] = factory()
-        elif metric.kind != kind:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = factory()
+        if metric.kind != kind:
             raise TypeError(
                 f"metric {name!r} already registered as {metric.kind}, "
                 f"requested {kind}"
             )
         return metric
+
+    @property
+    def lock(self) -> threading.Lock:
+        """Serialization point for multi-threaded metric *updates*.
+
+        Single-threaded callers never need it; concurrent sessions in
+        the service layer take it around read-modify-write bursts so
+        counters stay exact under contention.
+        """
+        return self._lock
 
     def counter(self, name: str) -> Counter:
         return self._get_or_create(name, lambda: Counter(name), "counter")

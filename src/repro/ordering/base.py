@@ -196,6 +196,23 @@ class PlanOrderer(ABC):
         May yield fewer than ``k`` entries when the space is smaller.
         Implementations must treat ``on_emit`` returning False as "plan
         discarded, not executed".
+
+        **Lazy-iteration contract** (what the pipelined service layer
+        builds on): implementations are generators, and
+
+        1. no work for plan ``i+1`` happens until the consumer resumes
+           the generator after receiving plan ``i`` — consuming a
+           prefix never pays for the rest;
+        2. ``on_emit(plan_i)`` is called at most once, *on resumption*
+           after yielding plan ``i`` and before any utility evaluation
+           for plan ``i+1`` — so a consumer that decides soundness
+           between ``next()`` calls (sequentially or on a producer
+           thread) always has the answer ready;
+        3. abandoning the generator (``close()``/GC) is safe at any
+           point and leaves the orderer reusable for a fresh call.
+
+        ``tests/ordering/test_lazy_contract.py`` enforces this for
+        every algorithm.
         """
 
     def order_spaces(

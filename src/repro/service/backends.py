@@ -1,0 +1,126 @@
+"""Execution backends for the service layer.
+
+The sequential mediator always evaluates plans in-process over the
+in-memory source instances.  The service layer routes execution
+through a small backend interface instead, for two reasons:
+
+* executor *workers* run concurrently, so the backend contract is
+  explicit about what they receive — an executable source-level query
+  and a **read-only** database view;
+* real sources flake.  :class:`FlakyBackend` injects transient
+  failures mirroring the virtual-clock simulator's per-source failure
+  model, which is what gives the retry-with-backoff policy something
+  real to do in demos and tests.
+
+Failure injection is deterministic: whether attempt ``n`` on plan
+query ``q`` fails depends only on ``(seed, signature(q), n)``, never
+on thread scheduling, so concurrent service runs are replayable.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from abc import ABC, abstractmethod
+from typing import Mapping, Optional
+
+from repro.errors import TransientExecutionError
+from repro.datalog.query import ConjunctiveQuery
+from repro.execution.engine import evaluate_conjunctive_query
+
+__all__ = ["ExecutionBackend", "InMemoryBackend", "FlakyBackend"]
+
+#: Read-only database view handed to backends.
+Database = Mapping[str, set[tuple[object, ...]]]
+
+
+class ExecutionBackend(ABC):
+    """Evaluates one executable plan query over the source instances."""
+
+    @abstractmethod
+    def execute(
+        self, executable: ConjunctiveQuery, database: Database
+    ) -> frozenset[tuple[object, ...]]:
+        """All answers of *executable*; may raise
+        :class:`~repro.errors.TransientExecutionError` for retryable
+        failures."""
+
+
+class InMemoryBackend(ExecutionBackend):
+    """The default: direct evaluation, never fails."""
+
+    def execute(
+        self, executable: ConjunctiveQuery, database: Database
+    ) -> frozenset[tuple[object, ...]]:
+        return frozenset(evaluate_conjunctive_query(executable, database))
+
+    def __repr__(self) -> str:
+        return "<InMemoryBackend>"
+
+
+class FlakyBackend(ExecutionBackend):
+    """Failure-injecting wrapper around another backend.
+
+    Each execution attempt independently fails with ``failure_prob``,
+    like one source access in
+    :class:`~repro.execution.simulator.ExecutionSimulator`.  Attempts
+    are numbered per plan query, and the failure draw for attempt ``n``
+    is seeded from ``(seed, signature, n)``, so a retrying caller sees
+    the same failure pattern on every run regardless of concurrency.
+    """
+
+    def __init__(
+        self,
+        inner: Optional[ExecutionBackend] = None,
+        *,
+        failure_prob: float = 0.3,
+        seed: int = 0,
+        fail_first: int = 0,
+    ) -> None:
+        if not 0.0 <= failure_prob <= 1.0:
+            raise ValueError(f"failure_prob must be in [0, 1]: {failure_prob}")
+        self.inner = inner if inner is not None else InMemoryBackend()
+        self.failure_prob = failure_prob
+        self.seed = seed
+        #: The first ``fail_first`` attempts per query fail
+        #: unconditionally — a deterministic handle for retry tests.
+        self.fail_first = fail_first
+        self._attempts: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self.failures_injected = 0
+
+    @staticmethod
+    def _signature(executable: ConjunctiveQuery) -> str:
+        return str(executable)
+
+    def attempts_for(self, executable: ConjunctiveQuery) -> int:
+        """How many attempts this backend has seen for *executable*."""
+        with self._lock:
+            return self._attempts.get(self._signature(executable), 0)
+
+    def execute(
+        self, executable: ConjunctiveQuery, database: Database
+    ) -> frozenset[tuple[object, ...]]:
+        signature = self._signature(executable)
+        with self._lock:
+            attempt = self._attempts.get(signature, 0) + 1
+            self._attempts[signature] = attempt
+        fails = False
+        if attempt <= self.fail_first:
+            fails = True
+        elif self.failure_prob > 0.0:
+            draw = random.Random(f"{self.seed}:{signature}:{attempt}").random()
+            fails = draw < self.failure_prob
+        if fails:
+            with self._lock:
+                self.failures_injected += 1
+            raise TransientExecutionError(
+                f"injected source failure (attempt {attempt}) for {signature}"
+            )
+        return self.inner.execute(executable, database)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FlakyBackend p={self.failure_prob} seed={self.seed} "
+            f"failures={self.failures_injected}>"
+        )

@@ -1,0 +1,351 @@
+"""A load generator for the query service: ``repro bench-serve``.
+
+Replays a mix of random conjunctive queries over a served catalog
+from N concurrent client connections and reports throughput plus
+first-answer / last-answer latency percentiles — the two numbers the
+paper's anytime argument is about (how fast do the *first* useful
+answers arrive, and what does full drain cost).
+
+Latencies are measured client-side on the wire: first-answer is the
+time from sending the query record to the first ``batch`` record that
+carries new answers; last-answer is the time to the ``summary``
+record.  Everything is stdlib sockets, deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ReformulationError, ServiceError
+from repro.datalog.terms import Atom, Variable
+from repro.datalog.query import ConjunctiveQuery
+from repro.reformulation.buckets import build_buckets
+from repro.service import protocol
+from repro.service.frontend import connect
+from repro.sources.catalog import Catalog
+
+__all__ = [
+    "LatencySummary",
+    "LoadReport",
+    "build_query_mix",
+    "percentile",
+    "run_load",
+]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The *q*-quantile (0..1) by linear interpolation; 0.0 if empty."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+@dataclass
+class LatencySummary:
+    """p50/p95/max/mean over one latency series (seconds)."""
+
+    count: int = 0
+    mean: float = 0.0
+    p50: float = 0.0
+    p95: float = 0.0
+    max: float = 0.0
+
+    @classmethod
+    def of(cls, values: list[float]) -> "LatencySummary":
+        if not values:
+            return cls()
+        return cls(
+            count=len(values),
+            mean=sum(values) / len(values),
+            p50=percentile(values, 0.50),
+            p95=percentile(values, 0.95),
+            max=max(values),
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_s": self.mean,
+            "p50_s": self.p50,
+            "p95_s": self.p95,
+            "max_s": self.max,
+        }
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load run."""
+
+    sent: int = 0
+    completed: int = 0
+    errors: int = 0
+    rejected: int = 0
+    deadline_exceeded: int = 0
+    answers: int = 0
+    duration_s: float = 0.0
+    first_answer: LatencySummary = field(default_factory=LatencySummary)
+    last_answer: LatencySummary = field(default_factory=LatencySummary)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    def format_table(self) -> str:
+        lines = [
+            f"{'requests sent':<24} {self.sent}",
+            f"{'completed':<24} {self.completed}",
+            f"{'errors':<24} {self.errors}",
+            f"{'rejected (overload)':<24} {self.rejected}",
+            f"{'deadline exceeded':<24} {self.deadline_exceeded}",
+            f"{'answers received':<24} {self.answers}",
+            f"{'duration [s]':<24} {self.duration_s:.3f}",
+            f"{'throughput [req/s]':<24} {self.throughput_rps:.1f}",
+        ]
+        for label, summary in (
+            ("first-answer", self.first_answer),
+            ("last-answer", self.last_answer),
+        ):
+            lines.append(
+                f"{label + ' latency [s]':<24} "
+                f"p50={summary.p50:.4f} p95={summary.p95:.4f} "
+                f"max={summary.max:.4f} mean={summary.mean:.4f}"
+            )
+        return "\n".join(lines)
+
+
+def build_query_mix(
+    catalog: Catalog,
+    n_queries: int,
+    seed: int = 0,
+    max_subgoals: int = 2,
+    include: Optional[ConjunctiveQuery] = None,
+) -> list[str]:
+    """Random conjunctive queries (as datalog text) over *catalog*.
+
+    Only queries whose bucket plan space is non-empty make the mix —
+    a load run should exercise ordering + execution, not reformulation
+    dead ends.  Deterministic per seed.  ``include`` seeds the mix
+    with a known-good query (e.g. the workload's canonical one).
+    """
+    rng = random.Random(seed)
+    relations = catalog.schema
+    if not relations:
+        raise ServiceError("catalog has no relations to query")
+    names = sorted(relations)
+    variables = [Variable(f"X{i}") for i in range(8)]
+    mix: list[str] = []
+    if include is not None:
+        mix.append(str(include))
+    attempts = 0
+    while len(mix) < n_queries and attempts < 200 * n_queries:
+        attempts += 1
+        n_atoms = rng.randint(1, max_subgoals)
+        body = []
+        for _ in range(n_atoms):
+            name = rng.choice(names)
+            arity = relations[name]
+            body.append(
+                Atom(
+                    name,
+                    tuple(
+                        rng.choice(variables[: 2 * n_atoms])
+                        for _ in range(arity)
+                    ),
+                )
+            )
+        body_vars = sorted(
+            {v for atom in body for v in atom.variables()}, key=lambda v: v.name
+        )
+        if not body_vars:
+            continue
+        head_size = rng.randint(1, min(3, len(body_vars)))
+        head = Atom("q", tuple(rng.sample(body_vars, head_size)))
+        query = ConjunctiveQuery(head, tuple(body))
+        try:
+            space = build_buckets(query, catalog)
+        except ReformulationError:
+            continue
+        if space.size < 1:
+            continue
+        mix.append(str(query))
+    if len(mix) < n_queries:
+        raise ServiceError(
+            f"could only build {len(mix)}/{n_queries} plannable queries "
+            f"for this catalog (seed {seed})"
+        )
+    return mix[:n_queries]
+
+
+class _ClientWorker(threading.Thread):
+    """One connection replaying queries taken from a shared cursor."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        queries: list[str],
+        cursor: "_Cursor",
+        *,
+        measure: Optional[str],
+        orderer: Optional[str],
+        deadline_s: Optional[float],
+        first_k_answers: Optional[int],
+        timeout_s: float,
+    ) -> None:
+        super().__init__(daemon=True)
+        self.host = host
+        self.port = port
+        self.queries = queries
+        self.cursor = cursor
+        self.measure = measure
+        self.orderer = orderer
+        self.deadline_s = deadline_s
+        self.first_k_answers = first_k_answers
+        self.timeout_s = timeout_s
+        self.first_latencies: list[float] = []
+        self.last_latencies: list[float] = []
+        self.sent = 0
+        self.completed = 0
+        self.errors = 0
+        self.rejected = 0
+        self.deadline_exceeded = 0
+        self.answers = 0
+
+    def run(self) -> None:
+        sock = connect(self.host, self.port, timeout=self.timeout_s)
+        try:
+            stream = sock.makefile("rwb")
+            while True:
+                index = self.cursor.take()
+                if index is None:
+                    return
+                self._one_request(stream, index)
+        finally:
+            sock.close()
+
+    def _one_request(self, stream, index: int) -> None:
+        text = self.queries[index % len(self.queries)]
+        record = protocol.request_record(
+            text,
+            request_id=f"load-{index}",
+            measure=self.measure,
+            orderer=self.orderer,
+            deadline_s=self.deadline_s,
+            first_k_answers=self.first_k_answers,
+        )
+        started = time.perf_counter()
+        stream.write(protocol.encode_line(record))
+        stream.flush()
+        self.sent += 1
+        first_answer_at: Optional[float] = None
+        answers = 0
+        while True:
+            line = stream.readline()
+            if not line:
+                self.errors += 1
+                return
+            reply = protocol.decode_line(line)
+            kind = reply.get("type")
+            if kind == "batch":
+                answers += len(reply.get("new_answers", ()))
+                if first_answer_at is None and reply.get("new_answers"):
+                    first_answer_at = time.perf_counter() - started
+            elif kind == "summary":
+                elapsed = time.perf_counter() - started
+                self.completed += 1
+                self.answers += answers
+                if reply.get("deadline_exceeded"):
+                    self.deadline_exceeded += 1
+                if first_answer_at is not None:
+                    self.first_latencies.append(first_answer_at)
+                self.last_latencies.append(elapsed)
+                return
+            elif kind == "error":
+                if reply.get("code") == "overloaded":
+                    self.rejected += 1
+                else:
+                    self.errors += 1
+                return
+
+
+class _Cursor:
+    """Hands out request indices until the budget is spent."""
+
+    def __init__(self, total: int) -> None:
+        self._lock = threading.Lock()
+        self._next = 0
+        self._total = total
+
+    def take(self) -> Optional[int]:
+        with self._lock:
+            if self._next >= self._total:
+                return None
+            index = self._next
+            self._next += 1
+            return index
+
+
+def run_load(
+    host: str,
+    port: int,
+    queries: list[str],
+    *,
+    requests: int = 50,
+    concurrency: int = 4,
+    measure: Optional[str] = None,
+    orderer: Optional[str] = None,
+    deadline_s: Optional[float] = None,
+    first_k_answers: Optional[int] = None,
+    timeout_s: float = 30.0,
+) -> LoadReport:
+    """Replay *queries* round-robin from *concurrency* connections."""
+    if not queries:
+        raise ServiceError("empty query mix")
+    cursor = _Cursor(requests)
+    workers = [
+        _ClientWorker(
+            host,
+            port,
+            queries,
+            cursor,
+            measure=measure,
+            orderer=orderer,
+            deadline_s=deadline_s,
+            first_k_answers=first_k_answers,
+            timeout_s=timeout_s,
+        )
+        for _ in range(concurrency)
+    ]
+    started = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    duration = time.perf_counter() - started
+
+    report = LoadReport(duration_s=duration)
+    first: list[float] = []
+    last: list[float] = []
+    for worker in workers:
+        report.sent += worker.sent
+        report.completed += worker.completed
+        report.errors += worker.errors
+        report.rejected += worker.rejected
+        report.deadline_exceeded += worker.deadline_exceeded
+        report.answers += worker.answers
+        first.extend(worker.first_latencies)
+        last.extend(worker.last_latencies)
+    report.first_answer = LatencySummary.of(first)
+    report.last_answer = LatencySummary.of(last)
+    return report

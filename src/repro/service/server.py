@@ -1,0 +1,396 @@
+"""The multi-query service: shared catalog, admission control, metrics.
+
+One :class:`QueryService` owns a mediator (catalog + source instances
++ metric registry) and serves many concurrent requests.  Shared across
+*all* requests:
+
+* the catalog and source statistics,
+* one :class:`~repro.observability.caching.CachingUtilityMeasure` per
+  utility-measure name — so request N's utility evaluations warm the
+  cache for request N+1 (the measures themselves are stateless; all
+  per-request state lives in the execution contexts),
+* the :class:`~repro.observability.metrics.MetricRegistry`, exposing
+  ``service.*`` counters and latency histograms.
+
+Per request: a fresh orderer, a fresh
+:class:`~repro.service.session.PipelinedSession`, and (when request
+tracing is on) a private :class:`~repro.observability.tracing.Tracer`
+whose span tree is returned with the result.
+
+Two throttles implement load-shedding:
+
+* an **admission-control semaphore** caps how many sessions run
+  concurrently (``max_concurrent``);
+* a **bounded work queue** (``backlog``) absorbs bursts ahead of the
+  dispatchers; :meth:`submit` raises
+  :class:`~repro.errors.ServiceOverloadedError` when it is full, which
+  the TCP front end translates into an ``overloaded`` error record —
+  backpressure reaches the client instead of an unbounded queue.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from queue import Full, Queue
+from typing import Callable, Mapping, Optional
+
+from repro.errors import ReproError, ServiceError, ServiceOverloadedError
+from repro.datalog.query import ConjunctiveQuery
+from repro.execution.mediator import AnswerBatch, Mediator
+from repro.observability.caching import CachingUtilityMeasure
+from repro.observability.metrics import MetricRegistry
+from repro.observability.tracing import Tracer
+from repro.ordering.bruteforce import ExhaustiveOrderer, PIOrderer
+from repro.ordering.greedy import GreedyOrderer
+from repro.ordering.idrips import IDripsOrderer
+from repro.ordering.streamer import StreamerOrderer
+from repro.service.backends import ExecutionBackend
+from repro.service.policy import RequestPolicy
+from repro.service.session import PipelinedSession, SessionReport
+from repro.sources.catalog import Catalog
+from repro.utility.base import UtilityMeasure
+from repro.utility.cost import LinearCost
+
+__all__ = [
+    "QueryRequest",
+    "QueryService",
+    "RequestResult",
+    "ServiceConfig",
+    "ORDERER_TABLE",
+]
+
+#: Orderer constructors addressable over the wire.
+ORDERER_TABLE: dict[str, Callable[[UtilityMeasure], object]] = {
+    "pi": PIOrderer,
+    "exhaustive": ExhaustiveOrderer,
+    "idrips": IDripsOrderer,
+    "streamer": StreamerOrderer,
+    "greedy": GreedyOrderer,
+}
+
+#: Per-batch streaming callback (invoked from the session's thread).
+BatchCallback = Callable[[AnswerBatch], None]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Concurrency and defaulting knobs of a :class:`QueryService`."""
+
+    max_concurrent: int = 8
+    backlog: int = 32
+    executor_workers: int = 2
+    queue_depth: int = 8
+    admission_timeout_s: float = 30.0
+    default_measure: str = "linear"
+    default_orderer: str = "pi"
+    default_policy: RequestPolicy = field(default_factory=RequestPolicy)
+    trace_requests: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise ServiceError("max_concurrent must be at least 1")
+        if self.backlog < 1:
+            raise ServiceError("backlog must be at least 1")
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query admitted into the service."""
+
+    query: ConjunctiveQuery
+    request_id: str = ""
+    measure: Optional[str] = None
+    orderer: Optional[str] = None
+    policy: Optional[RequestPolicy] = None
+
+
+@dataclass
+class RequestResult:
+    """Everything one request produced."""
+
+    request_id: str
+    status: str  # ok | deadline_exceeded | cancelled | rejected | error
+    batches: list[AnswerBatch] = field(default_factory=list)
+    answers: frozenset = frozenset()
+    report: Optional[SessionReport] = None
+    error: Optional[str] = None
+    spans: Optional[dict] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def deadline_exceeded(self) -> bool:
+        return self.status == "deadline_exceeded"
+
+
+class _Pending:
+    """A queued request waiting for a dispatcher (tiny future)."""
+
+    __slots__ = ("request", "on_batch", "_done", "result")
+
+    def __init__(self, request: QueryRequest, on_batch: Optional[BatchCallback]):
+        self.request = request
+        self.on_batch = on_batch
+        self._done = threading.Event()
+        self.result: Optional[RequestResult] = None
+
+    def resolve(self, result: RequestResult) -> None:
+        self.result = result
+        self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> RequestResult:
+        if not self._done.wait(timeout):
+            raise ServiceError("timed out waiting for request result")
+        assert self.result is not None
+        return self.result
+
+
+_SHUTDOWN = object()
+
+
+class QueryService:
+    """Serves concurrent anytime queries over one shared catalog."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        source_facts: Mapping[str, set[tuple[object, ...]]],
+        *,
+        measures: Optional[Mapping[str, Callable[[], UtilityMeasure]]] = None,
+        config: Optional[ServiceConfig] = None,
+        registry: Optional[MetricRegistry] = None,
+        backend: Optional[ExecutionBackend] = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.mediator = Mediator(catalog, source_facts, registry=self.registry)
+        self.backend = backend
+        self._measure_factories: dict[str, Callable[[], UtilityMeasure]] = dict(
+            measures if measures is not None else {"linear": LinearCost}
+        )
+        if self.config.default_measure not in self._measure_factories:
+            raise ServiceError(
+                f"default measure {self.config.default_measure!r} is not "
+                f"among {sorted(self._measure_factories)}"
+            )
+        self._shared_measures: dict[str, CachingUtilityMeasure] = {}
+        self._measure_lock = threading.Lock()
+        self._semaphore = threading.Semaphore(self.config.max_concurrent)
+        self._queue: Queue = Queue(maxsize=self.config.backlog)
+        self._dispatchers: list[threading.Thread] = []
+        self._started = False
+        self._ids = itertools.count(1)
+
+        counter = self.registry.counter
+        self._m_requests = counter("service.requests")
+        self._m_accepted = counter("service.accepted")
+        self._m_rejected = counter("service.rejected")
+        self._m_completed = counter("service.completed")
+        self._m_errors = counter("service.errors")
+        self._m_deadline = counter("service.deadline_exceeded")
+        self._m_cancelled = counter("service.cancelled")
+        self._m_answers = counter("service.answers")
+        self._g_active = self.registry.gauge("service.active")
+        self._h_first = self.registry.histogram("service.first_answer_s")
+        self._h_total = self.registry.histogram("service.total_s")
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "QueryService":
+        """Spin up the dispatcher pool for the :meth:`submit` path."""
+        if self._started:
+            return self
+        self._started = True
+        for index in range(self.config.max_concurrent):
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                name=f"repro-service-dispatch-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._dispatchers.append(thread)
+        return self
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop dispatchers after the queued work drains."""
+        if not self._started:
+            return
+        for _ in self._dispatchers:
+            self._queue.put(_SHUTDOWN)
+        for thread in self._dispatchers:
+            thread.join(timeout=timeout)
+        self._dispatchers.clear()
+        self._started = False
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # -- request plumbing --------------------------------------------------------
+
+    def measure_names(self) -> list[str]:
+        return sorted(self._measure_factories)
+
+    def shared_measure(self, name: str) -> CachingUtilityMeasure:
+        """The cross-request memoized utility measure called *name*."""
+        with self._measure_lock:
+            measure = self._shared_measures.get(name)
+            if measure is None:
+                try:
+                    factory = self._measure_factories[name]
+                except KeyError:
+                    raise ServiceError(
+                        f"unknown measure {name!r}; "
+                        f"have {sorted(self._measure_factories)}"
+                    ) from None
+                measure = CachingUtilityMeasure(
+                    factory(), registry=self.registry
+                )
+                self._shared_measures[name] = measure
+        return measure
+
+    def _make_orderer(self, name: str, utility: UtilityMeasure):
+        try:
+            factory = ORDERER_TABLE[name]
+        except KeyError:
+            raise ServiceError(
+                f"unknown orderer {name!r}; have {sorted(ORDERER_TABLE)}"
+            ) from None
+        return factory(utility)
+
+    def next_request_id(self) -> str:
+        return f"req-{next(self._ids)}"
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(
+        self,
+        request: QueryRequest,
+        on_batch: Optional[BatchCallback] = None,
+    ) -> RequestResult:
+        """Run one request to completion on the calling thread.
+
+        Admission control applies: the call blocks until a concurrency
+        slot frees up (bounded by ``admission_timeout_s``, after which
+        the request is *rejected*, not errored).
+        """
+        request_id = request.request_id or self.next_request_id()
+        self._m_requests.inc()
+        policy = request.policy or self.config.default_policy
+        admit_timeout = self.config.admission_timeout_s
+        if policy.deadline_s is not None:
+            admit_timeout = min(admit_timeout, policy.deadline_s)
+        if not self._semaphore.acquire(timeout=admit_timeout):
+            self._m_rejected.inc()
+            return RequestResult(
+                request_id, "rejected", error="admission timeout"
+            )
+        self._m_accepted.inc()
+        self._g_active.inc()
+        try:
+            return self._run_admitted(request, request_id, policy, on_batch)
+        finally:
+            self._g_active.dec()
+            self._semaphore.release()
+
+    def _run_admitted(
+        self,
+        request: QueryRequest,
+        request_id: str,
+        policy: RequestPolicy,
+        on_batch: Optional[BatchCallback],
+    ) -> RequestResult:
+        tracer = Tracer(enabled=self.config.trace_requests)
+        try:
+            utility = self.shared_measure(
+                request.measure or self.config.default_measure
+            )
+            orderer = self._make_orderer(
+                request.orderer or self.config.default_orderer, utility
+            )
+            session = PipelinedSession(
+                self.mediator,
+                executor_workers=self.config.executor_workers,
+                queue_depth=self.config.queue_depth,
+                backend=self.backend,
+                tracer=tracer,
+                registry=self.registry,
+            )
+            batches: list[AnswerBatch] = []
+            answers: set = set()
+            for batch in session.stream(
+                request.query, utility, orderer=orderer, policy=policy
+            ):
+                batches.append(batch)
+                answers.update(batch.new_answers)
+                if on_batch is not None:
+                    on_batch(batch)
+            report = session.last_report
+            assert report is not None
+        except ReproError as exc:
+            self._m_errors.inc()
+            return RequestResult(request_id, "error", error=str(exc))
+        result = RequestResult(
+            request_id,
+            report.status,
+            batches=batches,
+            answers=frozenset(answers),
+            report=report,
+            spans=tracer.as_dict() if tracer.enabled else None,
+        )
+        with self.registry.lock:
+            self._m_completed.inc()
+            self._m_answers.inc(len(answers))
+            if report.deadline_exceeded:
+                self._m_deadline.inc()
+            if report.cancelled:
+                self._m_cancelled.inc()
+            if report.first_answer_s is not None:
+                self._h_first.observe(report.first_answer_s)
+            self._h_total.observe(report.elapsed_s)
+        return result
+
+    # -- queued path -------------------------------------------------------------
+
+    def submit(
+        self,
+        request: QueryRequest,
+        on_batch: Optional[BatchCallback] = None,
+    ) -> _Pending:
+        """Enqueue a request for the dispatcher pool.
+
+        Returns a handle whose :meth:`_Pending.wait` blocks for the
+        result.  Raises :class:`~repro.errors.ServiceOverloadedError`
+        immediately when the backlog is full.
+        """
+        if not self._started:
+            raise ServiceError("service not started; call start() first")
+        pending = _Pending(request, on_batch)
+        try:
+            self._queue.put_nowait(pending)
+        except Full:
+            self._m_requests.inc()
+            self._m_rejected.inc()
+            raise ServiceOverloadedError(
+                f"work queue full ({self.config.backlog} pending requests)"
+            ) from None
+        return pending
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            try:
+                result = self.execute(item.request, on_batch=item.on_batch)
+            except BaseException as exc:  # never kill a dispatcher
+                result = RequestResult(
+                    item.request.request_id or "?", "error", error=str(exc)
+                )
+            item.resolve(result)

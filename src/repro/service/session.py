@@ -1,0 +1,451 @@
+"""The pipelined anytime session: ordering overlapped with execution.
+
+``Mediator.answer`` is strictly sequential: the orderer cannot start
+computing plan ``i+1`` until plan ``i`` has finished executing.  The
+paper's Section 2 motivation is the opposite — *"the mediator should
+begin executing the best plan while the ordering algorithm computes
+the next ones"*.  :class:`PipelinedSession` realizes that:
+
+* a **producer thread** drives the plan orderer and the soundness
+  test, feeding a bounded queue of work items (backpressure keeps the
+  orderer at most ``queue_depth`` plans ahead of execution);
+* a pool of **executor workers** evaluates sound plans concurrently
+  over a read-only view of the source instances, retrying transient
+  backend failures with exponential backoff;
+* the **consumer** (the thread iterating :meth:`stream`) reassembles
+  results into emission order and computes ``new_answers`` against
+  the running union — so the batch stream is *identical*, plan for
+  plan and byte for byte, to the sequential mediator's.
+
+Why the ordering survives the concurrency: soundness for plan ``i``
+is decided in the producer thread immediately after the orderer
+yields it, *before* the generator is resumed — exactly when the
+sequential mediator decides it.  The orderers' ``on_emit`` callback
+(asked on resumption) therefore sees the same answers in the same
+order, and the emitted plan sequence cannot diverge.  Execution
+results never influence the ordering, only their soundness bits do,
+so running executions out of order is unobservable after the
+consumer's reordering.
+
+Deadlines and cancellation are cooperative and clean: on expiry the
+session stops pulling plans, drains in-flight work, and finishes the
+batch stream early; :attr:`SessionReport.deadline_exceeded` is set
+instead of raising, so partial results always reach the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from queue import Empty, Full, Queue
+from typing import Iterator, Optional
+
+from repro.errors import ExecutionError, TransientExecutionError
+from repro.datalog.query import ConjunctiveQuery
+from repro.execution.mediator import AnswerBatch, Mediator
+from repro.observability.metrics import MetricRegistry
+from repro.observability.tracing import NOOP_TRACER, Stopwatch, Tracer
+from repro.ordering.base import PlanOrderer
+from repro.reformulation.plans import QueryPlan
+from repro.reformulation.soundness import plan_query
+from repro.service.backends import ExecutionBackend, InMemoryBackend
+from repro.service.policy import RequestPolicy
+from repro.utility.base import UtilityMeasure
+
+__all__ = ["PipelinedSession", "SessionReport"]
+
+#: Poll granularity for queue hand-offs and condition waits.  Only a
+#: liveness bound (threads notice stop/deadline at least this often);
+#: normal hand-offs are notification-driven and never wait this long.
+_TICK_S = 0.05
+
+
+@dataclass
+class SessionReport:
+    """What happened to one pipelined request."""
+
+    plans_processed: int = 0
+    sound_plans: int = 0
+    unsound_plans: int = 0
+    answers: int = 0
+    retries: int = 0
+    deadline_exceeded: bool = False
+    cancelled: bool = False
+    satisfied: bool = False  # first_k_answers reached
+    exhausted: bool = False  # plan budget fully drained
+    first_answer_s: Optional[float] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def status(self) -> str:
+        if self.cancelled:
+            return "cancelled"
+        if self.deadline_exceeded:
+            return "deadline_exceeded"
+        return "ok"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "status": self.status,
+            "plans_processed": self.plans_processed,
+            "sound_plans": self.sound_plans,
+            "unsound_plans": self.unsound_plans,
+            "answers": self.answers,
+            "retries": self.retries,
+            "deadline_exceeded": self.deadline_exceeded,
+            "cancelled": self.cancelled,
+            "satisfied": self.satisfied,
+            "exhausted": self.exhausted,
+            "first_answer_s": self.first_answer_s,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+class _WorkItem:
+    """One emitted plan travelling from producer to consumer."""
+
+    __slots__ = (
+        "ordered", "sound", "executable", "answers", "retries",
+        "error", "dropped", "execute_s",
+    )
+
+    def __init__(self, ordered, sound: bool, executable) -> None:
+        self.ordered = ordered
+        self.sound = sound
+        self.executable = executable
+        self.answers: frozenset = frozenset()
+        self.retries = 0
+        self.error: Optional[BaseException] = None
+        self.dropped = False  # deadline/cancel hit before execution
+        self.execute_s = 0.0
+
+
+_DONE = object()
+
+
+class _SessionRun:
+    """Shared state of one in-flight pipelined request."""
+
+    def __init__(self) -> None:
+        self.cond = threading.Condition()
+        self.results: dict[int, _WorkItem] = {}
+        self.stop = threading.Event()
+        self.produced: Optional[int] = None  # total plans, once known
+        self.producer_complete = False  # budget drained (not aborted)
+        self.producer_error: Optional[BaseException] = None
+
+    def publish(self, item: _WorkItem) -> None:
+        with self.cond:
+            self.results[item.ordered.rank] = item
+            self.cond.notify_all()
+
+    def finish_producing(self, produced: int, complete: bool,
+                         error: Optional[BaseException]) -> None:
+        with self.cond:
+            self.produced = produced
+            self.producer_complete = complete
+            self.producer_error = error
+            self.cond.notify_all()
+
+
+class PipelinedSession:
+    """Runs queries through a mediator with ordering/execution overlap.
+
+    One session instance serves one request at a time (the service
+    layer creates a session per admitted request); the mediator,
+    registry, and backend it wraps may be shared freely.
+    """
+
+    def __init__(
+        self,
+        mediator: Mediator,
+        *,
+        executor_workers: int = 2,
+        queue_depth: int = 8,
+        backend: Optional[ExecutionBackend] = None,
+        policy: Optional[RequestPolicy] = None,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricRegistry] = None,
+    ) -> None:
+        if executor_workers < 1:
+            raise ExecutionError("executor_workers must be at least 1")
+        if queue_depth < 1:
+            raise ExecutionError("queue_depth must be at least 1")
+        self.mediator = mediator
+        self.executor_workers = executor_workers
+        self.queue_depth = queue_depth
+        self.backend = backend if backend is not None else InMemoryBackend()
+        self.policy = policy if policy is not None else RequestPolicy()
+        self.tracer = tracer if tracer is not None else mediator.tracer
+        self.registry = registry if registry is not None else mediator.registry
+        self.last_report: Optional[SessionReport] = None
+        self._plans_pipelined = self.registry.counter("service.plans_pipelined")
+        self._retries = self.registry.counter("service.retries")
+        self._execute_hist = self.registry.histogram("service.execute_s")
+
+    # -- the pipeline ------------------------------------------------------------
+
+    def stream(
+        self,
+        query: ConjunctiveQuery,
+        utility: UtilityMeasure,
+        *,
+        orderer: Optional[PlanOrderer] = None,
+        policy: Optional[RequestPolicy] = None,
+    ) -> Iterator[AnswerBatch]:
+        """Yield answer batches in emission order, pipelined.
+
+        Semantically equivalent to ``Mediator.answer`` (same plans,
+        same order, same batches) with ordering, soundness, and
+        execution overlapped across threads.  After the generator
+        finishes (or is closed early), :attr:`last_report` describes
+        the run.
+        """
+        mediator = self.mediator
+        policy = policy if policy is not None else self.policy
+        deadline = policy.start_deadline()
+        token = policy.token()
+        report = SessionReport()
+        self.last_report = report
+        watch = Stopwatch().start()
+
+        with self.tracer.span("service.reformulate"):
+            space = mediator.reformulate(query)
+        if orderer is None:
+            orderer = mediator.orderer_factory(utility)
+        adopted_tracer = False
+        if orderer.tracer is NOOP_TRACER and self.tracer.enabled:
+            # The producer thread owns the orderer for the whole run,
+            # so its spans nest under this request's trace safely.
+            orderer.tracer = self.tracer
+            adopted_tracer = True
+        budget = mediator.resolve_budget(space, policy.max_plans)
+
+        run = _SessionRun()
+        work_q: Queue = Queue(maxsize=self.queue_depth)
+        database = mediator.execution_database()
+        soundness: dict[tuple[str, ...], bool] = {}
+
+        def on_emit(plan: QueryPlan) -> bool:
+            try:
+                return soundness[plan.key]
+            except KeyError:
+                raise ExecutionError(
+                    f"orderer asked about unprocessed plan {plan}"
+                ) from None
+
+        def aborted() -> bool:
+            return run.stop.is_set() or token.cancelled or deadline.expired
+
+        def put_abortable(item) -> bool:
+            """Enqueue unless the session is shutting down."""
+            while not run.stop.is_set():
+                try:
+                    work_q.put(item, timeout=_TICK_S)
+                    return True
+                except Full:
+                    continue
+            return False
+
+        def produce() -> None:
+            produced = 0
+            complete = False
+            error: Optional[BaseException] = None
+            try:
+                plans = orderer.order(space, budget, on_emit=on_emit)
+                for ordered in plans:
+                    if aborted():
+                        break
+                    # Soundness is decided here — before the orderer is
+                    # resumed — exactly as in the sequential mediator,
+                    # so on_emit always finds its answer ready.
+                    executable = plan_query(query, ordered.plan)
+                    sound = executable is not None
+                    soundness[ordered.plan.key] = sound
+                    produced += 1
+                    if not put_abortable(_WorkItem(ordered, sound, executable)):
+                        produced -= 1
+                        break
+                else:
+                    complete = True
+            except BaseException as exc:  # surfaced on the consumer
+                error = exc
+            finally:
+                run.finish_producing(produced, complete, error)
+                for _ in range(self.executor_workers):
+                    if not put_abortable(_DONE):
+                        break
+
+        def execute_with_retries(item: _WorkItem) -> None:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    with Stopwatch() as attempt_watch:
+                        item.answers = self.backend.execute(
+                            item.executable, database
+                        )
+                    item.execute_s += attempt_watch.elapsed
+                    return
+                except TransientExecutionError as exc:
+                    if (
+                        attempts >= policy.retry.max_attempts
+                        or aborted()
+                    ):
+                        item.error = exc
+                        return
+                    item.retries += 1
+                    delay = policy.retry.delay(attempts)
+                    if delay > 0.0:
+                        # Sleep on the stop event so shutdown and
+                        # cancellation cut the backoff short.
+                        run.stop.wait(deadline.clamp(delay))
+                except BaseException as exc:
+                    item.error = exc
+                    return
+
+        def work() -> None:
+            while True:
+                try:
+                    item = work_q.get(timeout=_TICK_S)
+                except Empty:
+                    if run.stop.is_set():
+                        return
+                    continue
+                if item is _DONE:
+                    return
+                if token.cancelled or deadline.expired:
+                    item.dropped = True
+                elif item.sound:
+                    execute_with_retries(item)
+                run.publish(item)
+
+        producer = threading.Thread(
+            target=produce, name="repro-service-producer", daemon=True
+        )
+        workers = [
+            threading.Thread(
+                target=work, name=f"repro-service-exec-{i}", daemon=True
+            )
+            for i in range(self.executor_workers)
+        ]
+
+        seen: set[tuple[object, ...]] = set()
+        next_rank = 1
+        try:
+            producer.start()
+            for worker in workers:
+                worker.start()
+            while True:
+                with run.cond:
+                    while True:
+                        if next_rank in run.results:
+                            item = run.results.pop(next_rank)
+                            break
+                        if run.produced is not None and next_rank > run.produced:
+                            item = None
+                            break
+                        if token.cancelled or deadline.expired:
+                            item = None
+                            break
+                        run.cond.wait(timeout=_TICK_S)
+                if item is None:
+                    if run.producer_error is not None:
+                        raise run.producer_error
+                    drained = (
+                        run.produced is not None and next_rank > run.produced
+                    )
+                    if drained and run.producer_complete:
+                        report.exhausted = True
+                    elif token.cancelled:
+                        report.cancelled = True
+                    elif deadline.expired:
+                        report.deadline_exceeded = True
+                    else:
+                        # Producer aborted on deadline/cancel observed
+                        # only in its own thread.
+                        report.cancelled = token.cancelled
+                        report.deadline_exceeded = not token.cancelled
+                    return
+                if item.dropped:
+                    if token.cancelled:
+                        report.cancelled = True
+                    else:
+                        report.deadline_exceeded = True
+                    return
+                if item.error is not None:
+                    report.retries += item.retries
+                    raise ExecutionError(
+                        f"plan {item.ordered.plan} failed after "
+                        f"{item.retries + 1} attempt(s)"
+                    ) from item.error
+                new = frozenset(item.answers - seen)
+                seen.update(item.answers)
+                batch = AnswerBatch(
+                    item.ordered.rank,
+                    item.ordered.plan,
+                    item.ordered.utility,
+                    item.sound,
+                    item.answers,
+                    new,
+                )
+                # Shared-registry updates are serialized: several
+                # sessions may be consuming concurrently in the server.
+                with self.registry.lock:
+                    mediator.record_batch(batch)
+                    self._plans_pipelined.inc()
+                    self._retries.inc(item.retries)
+                    if item.execute_s:
+                        self._execute_hist.observe(item.execute_s)
+                report.plans_processed += 1
+                report.retries += item.retries
+                if batch.sound:
+                    report.sound_plans += 1
+                else:
+                    report.unsound_plans += 1
+                report.answers = len(seen)
+                if new and report.first_answer_s is None:
+                    # stop() leaves the start instant in place, so the
+                    # final elapsed_s keeps measuring from the same base.
+                    report.first_answer_s = watch.stop()
+                yield batch
+                next_rank += 1
+                if (
+                    policy.first_k_answers is not None
+                    and len(seen) >= policy.first_k_answers
+                ):
+                    report.satisfied = True
+                    return
+        finally:
+            run.stop.set()
+            # Unblock a producer stuck on a full queue, then collect
+            # the threads; daemon flags are only a last resort.
+            while producer.is_alive():
+                try:
+                    while True:
+                        work_q.get_nowait()
+                except Empty:
+                    pass
+                producer.join(timeout=_TICK_S)
+            for worker in workers:
+                worker.join(timeout=5 * _TICK_S)
+            if adopted_tracer:
+                orderer.tracer = NOOP_TRACER
+            report.elapsed_s = watch.stop()
+            report.answers = len(seen)
+
+    def run(
+        self,
+        query: ConjunctiveQuery,
+        utility: UtilityMeasure,
+        *,
+        orderer: Optional[PlanOrderer] = None,
+        policy: Optional[RequestPolicy] = None,
+    ) -> tuple[list[AnswerBatch], SessionReport]:
+        """Collect the whole stream; returns (batches, report)."""
+        batches = list(
+            self.stream(query, utility, orderer=orderer, policy=policy)
+        )
+        report = self.last_report
+        assert report is not None
+        return batches, report

@@ -130,8 +130,8 @@ class TestMediatorObservability:
         assert tracer.get("mediator.soundness").calls > 0
         assert tracer.get("mediator.execute").calls > 0
 
-    def test_orderer_adopts_mediator_tracer(self, movies):
-        from repro.observability.tracing import Tracer
+    def test_orderer_adopts_mediator_tracer_for_the_run(self, movies):
+        from repro.observability.tracing import NOOP_TRACER, Tracer
 
         tracer = Tracer()
         mediator = Mediator(
@@ -139,9 +139,11 @@ class TestMediatorObservability:
         )
         orderer = GreedyOrderer(LinearCost())
         list(mediator.answer(movies.query, LinearCost(), orderer=orderer))
-        assert orderer.tracer is tracer
-        # The ordering's evaluations were recorded on the shared trace.
+        # The ordering's evaluations were recorded on the shared trace...
         assert any("utility.eval" in path for path in tracer.paths())
+        # ...but the adoption is scoped to the run: the caller's orderer
+        # comes back with its own (no-op) tracer, reusable elsewhere.
+        assert orderer.tracer is NOOP_TRACER
 
     def test_explicit_orderer_tracer_wins(self, movies):
         from repro.observability.tracing import Tracer

@@ -1,0 +1,211 @@
+"""End-to-end tests of the JSON-lines TCP front end."""
+
+import json
+import socket
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service import protocol
+from repro.service.frontend import connect, start_server
+from repro.service.policy import RequestPolicy, RetryPolicy
+from repro.service.server import QueryService, ServiceConfig
+from repro.utility.cost import LinearCost
+
+
+@pytest.fixture
+def served(movies):
+    service = QueryService(
+        movies.catalog,
+        movies.source_facts,
+        measures={"linear": LinearCost},
+        config=ServiceConfig(trace_requests=True),
+    )
+    server, _thread = start_server(service, port=0)
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.shutdown()
+
+
+def roundtrip(stream, record):
+    stream.write(protocol.encode_line(record))
+    stream.flush()
+    replies = []
+    while True:
+        line = stream.readline()
+        assert line, "server closed the connection mid-request"
+        reply = protocol.decode_line(line)
+        replies.append(reply)
+        if reply["type"] in ("summary", "error"):
+            return replies
+
+
+class TestQueryOverTCP:
+    def test_batches_then_summary(self, served, movies):
+        with connect("127.0.0.1", served.port) as sock:
+            stream = sock.makefile("rwb")
+            replies = roundtrip(
+                stream, protocol.request_record(str(movies.query), request_id="t1")
+            )
+        batches, summary = replies[:-1], replies[-1]
+        assert summary["type"] == "summary"
+        assert summary["status"] == "ok"
+        assert summary["id"] == "t1"
+        assert summary["batches"] == len(batches)
+        assert batches, "expected at least one batch record"
+        assert [b["rank"] for b in batches] == list(
+            range(1, len(batches) + 1)
+        )
+        assert all(b["id"] == "t1" for b in batches)
+        assert any(b["new_answers"] for b in batches)
+        assert summary["spans"]  # trace_requests=True
+
+    def test_persistent_connection_multiple_queries(self, served, movies):
+        with connect("127.0.0.1", served.port) as sock:
+            stream = sock.makefile("rwb")
+            first = roundtrip(
+                stream, protocol.request_record(str(movies.query))
+            )
+            second = roundtrip(
+                stream, protocol.request_record(str(movies.query))
+            )
+        # Server assigns distinct ids when the client sends none.
+        assert first[-1]["id"] != second[-1]["id"]
+        assert first[-1]["answers"] == second[-1]["answers"]
+
+    def test_answers_are_deterministic_rows(self, served, movies):
+        with connect("127.0.0.1", served.port) as sock:
+            stream = sock.makefile("rwb")
+            a = roundtrip(stream, protocol.request_record(str(movies.query)))
+            b = roundtrip(stream, protocol.request_record(str(movies.query)))
+        strip = lambda reply: {  # noqa: E731
+            k: v for k, v in reply.items() if k not in ("id", "spans")
+        }
+        a_batches = [strip(r) for r in a if r["type"] == "batch"]
+        b_batches = [strip(r) for r in b if r["type"] == "batch"]
+        assert a_batches == b_batches
+
+    def test_policy_knobs_travel_over_the_wire(self, served, movies):
+        with connect("127.0.0.1", served.port) as sock:
+            stream = sock.makefile("rwb")
+            replies = roundtrip(
+                stream,
+                protocol.request_record(
+                    str(movies.query), max_plans=2, first_k_answers=1
+                ),
+            )
+        summary = replies[-1]
+        assert summary["plans_processed"] <= 2
+
+    def test_zero_deadline_reports_deadline_exceeded(self, served, movies):
+        with connect("127.0.0.1", served.port) as sock:
+            stream = sock.makefile("rwb")
+            replies = roundtrip(
+                stream,
+                protocol.request_record(str(movies.query), deadline_s=0.0),
+            )
+        summary = replies[-1]
+        assert summary["type"] == "summary"
+        assert summary["status"] == "deadline_exceeded"
+        assert summary["deadline_exceeded"] is True
+
+
+class TestProtocolErrors:
+    def test_bad_json_gets_error_record_and_connection_survives(
+        self, served, movies
+    ):
+        with connect("127.0.0.1", served.port) as sock:
+            stream = sock.makefile("rwb")
+            stream.write(b"this is not json\n")
+            stream.flush()
+            reply = protocol.decode_line(stream.readline())
+            assert reply["type"] == "error"
+            assert reply["code"] == "bad_request"
+            # Same connection still serves real queries.
+            replies = roundtrip(
+                stream, protocol.request_record(str(movies.query))
+            )
+            assert replies[-1]["status"] == "ok"
+
+    def test_unparsable_query_reports_bad_request(self, served):
+        with connect("127.0.0.1", served.port) as sock:
+            stream = sock.makefile("rwb")
+            replies = roundtrip(
+                stream, protocol.request_record("not a datalog query !!!")
+            )
+        assert replies[-1]["type"] == "error"
+        assert replies[-1]["code"] == "bad_request"
+
+    def test_blank_lines_are_ignored(self, served, movies):
+        with connect("127.0.0.1", served.port) as sock:
+            stream = sock.makefile("rwb")
+            stream.write(b"\n\n")
+            stream.flush()
+            replies = roundtrip(
+                stream, protocol.request_record(str(movies.query))
+            )
+        assert replies[-1]["status"] == "ok"
+
+
+class TestProtocolUnits:
+    def test_encode_decode_roundtrip(self):
+        record = {"type": "query", "query": "q(X) :- r(X)", "deadline_s": 1.5}
+        assert protocol.decode_line(protocol.encode_line(record)) == record
+
+    def test_decode_rejects_non_objects(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_line(b"[1, 2, 3]\n")
+        with pytest.raises(ProtocolError):
+            protocol.decode_line(b"{broken\n")
+
+    def test_request_from_record_validates_fields(self):
+        base = {"type": "query", "query": "q(X) :- r(X)"}
+        for bad in (
+            {**base, "deadline_s": "soon"},
+            {**base, "max_plans": 0},
+            {**base, "first_k_answers": True},
+            {**base, "retry_attempts": -2},
+            {"type": "query"},
+            {"type": "subscribe", "query": "q(X) :- r(X)"},
+        ):
+            with pytest.raises(ProtocolError):
+                protocol.request_from_record(bad)
+
+    def test_request_defaults_merge(self):
+        defaults = RequestPolicy(
+            deadline_s=9.0, retry=RetryPolicy(max_attempts=4, base_s=0.5)
+        )
+        request = protocol.request_from_record(
+            {"type": "query", "query": "q(X) :- r(X)", "retry_attempts": 2},
+            default_policy=defaults,
+        )
+        assert request.policy.deadline_s == 9.0
+        assert request.policy.retry.max_attempts == 2
+        assert request.policy.retry.base_s == 0.5  # backoff shape kept
+
+    def test_rows_are_sorted_and_json_safe(self):
+        sock_free = protocol.encode_line({"rows": [["b", 2], ["a", 1]]})
+        assert json.loads(sock_free)  # encodable
+        rows = protocol._rows(frozenset({("b", 2), ("a", 1)}))
+        assert rows == sorted(rows, key=repr)
+
+
+class TestLifecycle:
+    def test_clean_shutdown_closes_listener(self, movies):
+        service = QueryService(
+            movies.catalog,
+            movies.source_facts,
+            measures={"linear": LinearCost},
+        )
+        server, thread = start_server(service, port=0)
+        port = server.port
+        server.shutdown()
+        server.server_close()
+        service.shutdown()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        with pytest.raises(OSError):
+            socket.create_connection(("127.0.0.1", port), timeout=0.2)

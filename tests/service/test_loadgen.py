@@ -1,0 +1,123 @@
+"""Tests for the load generator and its statistics."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.datalog.parser import parse_query
+from repro.service.frontend import start_server
+from repro.service.loadgen import (
+    LatencySummary,
+    build_query_mix,
+    percentile,
+    run_load,
+)
+from repro.service.server import QueryService, ServiceConfig
+from repro.utility.cost import LinearCost
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.95) == 7.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 5.0
+
+    def test_p95_on_uniform_grid(self):
+        values = [float(i) for i in range(101)]  # 0..100
+        assert percentile(values, 0.95) == pytest.approx(95.0)
+
+
+class TestLatencySummary:
+    def test_of_empty(self):
+        summary = LatencySummary.of([])
+        assert summary.count == 0
+        assert summary.p95 == 0.0
+
+    def test_of_values(self):
+        summary = LatencySummary.of([0.1, 0.2, 0.3])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(0.2)
+        assert summary.p50 == pytest.approx(0.2)
+        assert summary.max == pytest.approx(0.3)
+        assert set(summary.as_dict()) == {
+            "count", "mean_s", "p50_s", "p95_s", "max_s",
+        }
+
+
+class TestQueryMix:
+    def test_deterministic_per_seed(self, movies):
+        a = build_query_mix(movies.catalog, 5, seed=42)
+        b = build_query_mix(movies.catalog, 5, seed=42)
+        c = build_query_mix(movies.catalog, 5, seed=43)
+        assert a == b
+        assert a != c
+        assert len(a) == 5
+
+    def test_queries_parse_and_plan(self, movies):
+        from repro.reformulation.buckets import build_buckets
+
+        for text in build_query_mix(movies.catalog, 6, seed=1):
+            space = build_buckets(parse_query(text), movies.catalog)
+            assert space.size >= 1
+
+    def test_include_seeds_the_mix(self, movies):
+        mix = build_query_mix(movies.catalog, 3, seed=0, include=movies.query)
+        assert mix[0] == str(movies.query)
+
+    def test_empty_catalog_rejected(self):
+        from repro.sources.catalog import Catalog
+
+        with pytest.raises(ServiceError):
+            build_query_mix(Catalog(), 3)
+
+
+class TestRunLoad:
+    def test_small_load_against_live_server(self, movies):
+        service = QueryService(
+            movies.catalog,
+            movies.source_facts,
+            measures={"linear": LinearCost},
+            config=ServiceConfig(max_concurrent=4),
+        )
+        server, _thread = start_server(service, port=0)
+        try:
+            mix = build_query_mix(
+                movies.catalog, 4, seed=0, include=movies.query
+            )
+            report = run_load(
+                "127.0.0.1",
+                server.port,
+                mix,
+                requests=12,
+                concurrency=3,
+                timeout_s=30.0,
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.shutdown()
+        assert report.sent == 12
+        assert report.completed == 12
+        assert report.errors == 0
+        assert report.rejected == 0
+        assert report.answers > 0
+        assert report.throughput_rps > 0
+        assert report.last_answer.count == 12
+        # First-answer latencies only exist for queries with answers,
+        # and the canonical movie query is in the mix.
+        assert report.first_answer.count >= 1
+        table = report.format_table()
+        assert "throughput" in table
+        assert "first-answer latency" in table
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ServiceError):
+            run_load("127.0.0.1", 1, [], requests=1)

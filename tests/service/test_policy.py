@@ -1,0 +1,110 @@
+"""Tests for per-request policies: deadlines, cancellation, retries."""
+
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.policy import (
+    CancellationToken,
+    Deadline,
+    RequestPolicy,
+    RetryPolicy,
+)
+
+
+class TestDeadline:
+    def test_none_never_expires(self):
+        deadline = Deadline.after(None)
+        assert not deadline.expired
+        assert deadline.remaining() is None
+        assert deadline.clamp(3.0) == 3.0
+
+    def test_zero_budget_is_immediately_expired(self):
+        deadline = Deadline.after(0.0)
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+        assert deadline.clamp(3.0) == 0.0
+
+    def test_remaining_counts_down(self):
+        deadline = Deadline.after(60.0)
+        assert not deadline.expired
+        remaining = deadline.remaining()
+        assert 0.0 < remaining <= 60.0
+        assert deadline.clamp(1.0) == 1.0
+        assert deadline.clamp(120.0) <= 60.0
+
+    def test_expiry_actually_happens(self):
+        deadline = Deadline.after(0.005)
+        time.sleep(0.01)
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ServiceError):
+            Deadline.after(-1.0)
+
+
+class TestCancellationToken:
+    def test_starts_uncancelled(self):
+        token = CancellationToken()
+        assert not token.cancelled
+        assert not token.wait(0.001)
+
+    def test_cancel_is_sticky_and_wakes_waiters(self):
+        token = CancellationToken()
+        token.cancel()
+        assert token.cancelled
+        assert token.wait(10.0)  # returns immediately, not after 10s
+        token.cancel()  # idempotent
+        assert token.cancelled
+
+
+class TestRetryPolicy:
+    def test_exponential_schedule(self):
+        policy = RetryPolicy(max_attempts=5, base_s=0.1, factor=2.0, cap_s=10.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+
+    def test_cap_applies(self):
+        policy = RetryPolicy(max_attempts=9, base_s=1.0, factor=10.0, cap_s=2.5)
+        assert policy.delay(1) == pytest.approx(1.0)
+        assert policy.delay(2) == pytest.approx(2.5)
+        assert policy.delay(8) == pytest.approx(2.5)
+
+    def test_delay_requires_a_failure(self):
+        with pytest.raises(ServiceError):
+            RetryPolicy().delay(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_s": -0.1},
+            {"cap_s": -1.0},
+            {"factor": 0.5},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ServiceError):
+            RetryPolicy(**kwargs)
+
+
+class TestRequestPolicy:
+    def test_defaults_are_unbounded(self):
+        policy = RequestPolicy()
+        assert policy.deadline_s is None
+        assert policy.max_plans is None
+        assert policy.first_k_answers is None
+        assert not policy.start_deadline().expired
+        assert not policy.token().cancelled
+
+    def test_shared_token_is_passed_through(self):
+        token = CancellationToken()
+        policy = RequestPolicy(cancellation=token)
+        assert policy.token() is token
+
+    def test_fresh_token_when_none_given(self):
+        policy = RequestPolicy()
+        assert policy.token() is not policy.token()

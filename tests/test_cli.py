@@ -139,6 +139,59 @@ class TestSimulate:
         assert "best-first" in out
         assert "worst-first" in out
 
+    def test_sim_seed_defaults_to_domain_seed(self, capsys):
+        base = ["simulate", "--bucket-size", "4", "-k", "5", "--seed", "2"]
+        assert main(base) == 0
+        implicit = capsys.readouterr().out
+        assert main(base + ["--sim-seed", "2"]) == 0
+        explicit = capsys.readouterr().out
+        assert implicit == explicit
+
+    def test_sim_seed_changes_execution_not_domain(self, capsys):
+        base = ["simulate", "--bucket-size", "4", "-k", "5", "--seed", "2"]
+        outputs = set()
+        for sim_seed in ("3", "4", "5", "6"):
+            assert main(base + ["--sim-seed", sim_seed]) == 0
+            outputs.add(capsys.readouterr().out)
+        # Same plans, different failure draws: at least two of the
+        # simulator seeds must produce different timings.
+        assert len(outputs) > 1
+
+
+class TestBenchServe:
+    def test_micro_load_in_process(self, capsys):
+        assert (
+            main(
+                [
+                    "bench-serve",
+                    "--requests", "6",
+                    "--concurrency", "2",
+                    "--queries", "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "completed                6" in out
+        assert "errors                   0" in out
+        assert "throughput [req/s]" in out
+        assert "first-answer latency" in out
+
+    def test_first_k_budget_applies(self, capsys):
+        assert (
+            main(
+                [
+                    "bench-serve",
+                    "--requests", "4",
+                    "--concurrency", "1",
+                    "--queries", "2",
+                    "--first-k", "1",
+                ]
+            )
+            == 0
+        )
+        assert "completed                4" in capsys.readouterr().out
+
 
 class TestForwarding:
     def test_experiments_forwarding(self, capsys):
