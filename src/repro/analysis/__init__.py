@@ -1,0 +1,71 @@
+"""Two-level static analysis for the repro codebase and its scenarios.
+
+The package hosts a shared diagnostics core (rule registry, severities,
+reporters, baseline files) and two rule families:
+
+* the **scenario linter** (:mod:`repro.analysis.scenario`) checks a
+  source catalog against a user query — unsafe views, unrecoverable
+  head variables, dead sources, empty buckets, redundant views, and
+  sampled spot-checks of utility-measure property flags;
+* the **code linter** (:mod:`repro.analysis.code_rules`) enforces this
+  repo's concurrency and contract discipline on the source tree —
+  lock discipline, the lazy-orderer contract, production asserts,
+  swallowed broad excepts, and mutable default arguments.
+
+Entry points: ``repro lint`` on the command line, or
+:func:`repro.analysis.runner.run_lint` programmatically.
+"""
+
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Location,
+    Severity,
+    max_severity,
+    sort_diagnostics,
+)
+from repro.analysis.registry import (
+    DEFAULT_REGISTRY,
+    FAMILY_CODE,
+    FAMILY_SCENARIO,
+    Rule,
+    RuleRegistry,
+)
+from repro.analysis.reporting import render_json, render_text, summarize
+from repro.analysis.runner import (
+    BUILTIN_SCENARIOS,
+    LintResult,
+    lint_code,
+    lint_scenario,
+    lint_scenarios,
+    lint_source,
+    run_lint,
+)
+from repro.analysis.scenario import ScenarioContext
+
+__all__ = [
+    "BUILTIN_SCENARIOS",
+    "DEFAULT_REGISTRY",
+    "Diagnostic",
+    "FAMILY_CODE",
+    "FAMILY_SCENARIO",
+    "LintResult",
+    "Location",
+    "Rule",
+    "RuleRegistry",
+    "ScenarioContext",
+    "Severity",
+    "apply_baseline",
+    "lint_code",
+    "lint_scenario",
+    "lint_scenarios",
+    "lint_source",
+    "load_baseline",
+    "max_severity",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "sort_diagnostics",
+    "summarize",
+    "write_baseline",
+]

@@ -1,0 +1,74 @@
+"""Baseline files: park known findings without pinning line numbers.
+
+A baseline is a JSON document keyed by diagnostic fingerprints
+(:meth:`repro.analysis.diagnostics.Diagnostic.fingerprint`)::
+
+    {
+      "version": 1,
+      "fingerprints": {
+        "0a1b...": {"rule": "SCN003", "file": "random-lav", "message": "..."}
+      }
+    }
+
+``repro lint --baseline file.json`` drops any finding whose fingerprint
+appears in the file, reporting only how many were suppressed.  The
+fingerprint hashes rule + file + message, so baselined findings survive
+unrelated edits but resurface the moment their message changes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.errors import AnalysisError
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> frozenset[str]:
+    """The fingerprints recorded in the baseline file at *path*."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise AnalysisError(f"baseline {path} must be a JSON object")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise AnalysisError(
+            f"baseline {path} has version {version!r}; "
+            f"this tool reads version {BASELINE_VERSION}"
+        )
+    fingerprints = payload.get("fingerprints")
+    if not isinstance(fingerprints, dict):
+        raise AnalysisError(f"baseline {path} is missing 'fingerprints'")
+    return frozenset(str(fp) for fp in fingerprints)
+
+
+def write_baseline(path: str, diagnostics: Iterable[Diagnostic]) -> int:
+    """Write a baseline capturing *diagnostics*; returns how many."""
+    fingerprints = {}
+    for diagnostic in diagnostics:
+        fingerprints[diagnostic.fingerprint()] = {
+            "rule": diagnostic.rule,
+            "file": diagnostic.location.file,
+            "message": diagnostic.message,
+        }
+    payload = {"version": BASELINE_VERSION, "fingerprints": fingerprints}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(fingerprints)
+
+
+def apply_baseline(
+    diagnostics: Sequence[Diagnostic], fingerprints: frozenset[str]
+) -> tuple[list[Diagnostic], int]:
+    """Split *diagnostics* into (fresh, number suppressed by baseline)."""
+    fresh = [d for d in diagnostics if d.fingerprint() not in fingerprints]
+    return fresh, len(diagnostics) - len(fresh)

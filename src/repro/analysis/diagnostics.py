@@ -1,0 +1,139 @@
+"""The shared diagnostics vocabulary of the static-analysis layer.
+
+Both rule families — the scenario linter over catalogs/queries and the
+AST lint pass over the codebase — report their findings as
+:class:`Diagnostic` records: rule id, severity, location, message, and
+an optional fix hint.  A diagnostic also knows how to compute a stable
+:meth:`~Diagnostic.fingerprint` so known findings can be parked in a
+baseline file (:mod:`repro.analysis.baseline`) without pinning line
+numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping
+
+
+class Severity(enum.IntEnum):
+    """Finding severities, ordered so comparisons mean what they say."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def from_name(cls, name: str) -> "Severity":
+        try:
+            return cls[name.strip().upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {name!r}; expected one of "
+                f"{', '.join(s.name.lower() for s in cls)}"
+            ) from None
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a finding points.
+
+    For code findings ``file`` is a path and ``line``/``column`` are
+    1-based source coordinates.  For scenario findings ``file`` is the
+    scenario name (e.g. ``movies``) and ``line`` stays 0 — scenarios
+    are objects, not text.
+    """
+
+    file: str
+    line: int = 0
+    column: int = 0
+
+    def __str__(self) -> str:
+        if self.line:
+            if self.column:
+                return f"{self.file}:{self.line}:{self.column}"
+            return f"{self.file}:{self.line}"
+        return self.file
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule at one location."""
+
+    rule: str
+    severity: Severity
+    message: str
+    location: Location
+    fix_hint: str = ""
+    #: Which rule family produced this: ``code`` or ``scenario``.
+    family: str = "code"
+    #: Extra structured context (plan keys, source names, ...).
+    data: Mapping[str, object] = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching.
+
+        Deliberately excludes line/column so a finding survives
+        unrelated edits above it; includes the file and the message so
+        two identical mistakes in different places stay distinct.
+        """
+        payload = f"{self.rule}\x1f{self.location.file}\x1f{self.message}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def format(self, *, show_hint: bool = True) -> str:
+        text = (
+            f"{self.location}: {self.rule} {self.severity}: {self.message}"
+        )
+        if show_hint and self.fix_hint:
+            text += f"  [hint: {self.fix_hint}]"
+        return text
+
+    def as_dict(self) -> dict[str, object]:
+        payload: dict[str, object] = {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "family": self.family,
+            "file": self.location.file,
+            "line": self.location.line,
+            "column": self.location.column,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+        if self.fix_hint:
+            payload["fix_hint"] = self.fix_hint
+        if self.data:
+            payload["data"] = dict(self.data)
+        return payload
+
+    def with_severity(self, severity: Severity) -> "Diagnostic":
+        return replace(self, severity=severity)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
+    """Canonical order: by file, then line/column, then rule id."""
+    return sorted(
+        diagnostics,
+        key=lambda d: (
+            d.location.file,
+            d.location.line,
+            d.location.column,
+            d.rule,
+            d.message,
+        ),
+    )
+
+
+def max_severity(diagnostics: Iterable[Diagnostic]) -> Severity | None:
+    """The highest severity present, or None for an empty run."""
+    best: Severity | None = None
+    for diagnostic in diagnostics:
+        if best is None or diagnostic.severity > best:
+            best = diagnostic.severity
+    return best

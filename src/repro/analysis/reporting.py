@@ -1,0 +1,72 @@
+"""Reporters: the same diagnostics as human text or machine JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Optional, Sequence
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    max_severity,
+    sort_diagnostics,
+)
+
+TOOL_NAME = "repro-lint"
+
+
+def summarize(diagnostics: Sequence[Diagnostic]) -> str:
+    """``2 errors, 1 warning`` — or ``no findings``."""
+    if not diagnostics:
+        return "no findings"
+    counts = Counter(d.severity for d in diagnostics)
+    parts = []
+    for severity in sorted(counts, reverse=True):
+        n = counts[severity]
+        noun = str(severity) + ("s" if n != 1 else "")
+        parts.append(f"{n} {noun}")
+    return ", ".join(parts)
+
+
+def render_text(
+    diagnostics: Sequence[Diagnostic],
+    *,
+    suppressed: int = 0,
+    show_hints: bool = True,
+) -> str:
+    """One finding per line, canonical order, summary trailer."""
+    lines = [
+        d.format(show_hint=show_hints) for d in sort_diagnostics(diagnostics)
+    ]
+    trailer = summarize(diagnostics)
+    if suppressed:
+        trailer += f" ({suppressed} suppressed by baseline)"
+    lines.append(trailer)
+    return "\n".join(lines)
+
+
+def render_json(
+    diagnostics: Sequence[Diagnostic],
+    *,
+    suppressed: int = 0,
+    families: Sequence[str] = (),
+    targets: Sequence[str] = (),
+) -> str:
+    """The full machine-readable report (stable key order)."""
+    ordered = sort_diagnostics(diagnostics)
+    counts = Counter(str(d.severity) for d in ordered)
+    worst: Optional[Severity] = max_severity(ordered)
+    payload = {
+        "tool": TOOL_NAME,
+        "families": list(families),
+        "targets": list(targets),
+        "summary": {
+            "total": len(ordered),
+            "by_severity": {str(s): counts.get(str(s), 0) for s in Severity},
+            "max_severity": str(worst) if worst is not None else None,
+            "suppressed_by_baseline": suppressed,
+        },
+        "diagnostics": [d.as_dict() for d in ordered],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,327 @@
+"""Orchestration: discover targets, run rule families, decide exit codes.
+
+The runner is what ``repro lint`` calls: it walks Python files for the
+code family, builds the bundled scenarios for the scenario family,
+applies ``--select``/``--ignore``, inline ``# lint: allow[...]``
+suppressions, and the optional baseline file, and folds the surviving
+diagnostics into an exit code:
+
+* ``0`` — nothing at or above the failure threshold,
+* ``1`` — findings at or above the threshold,
+* ``2`` — the analysis itself could not run (bad arguments, unreadable
+  files, broken baselines) — reported as :class:`AnalysisError`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+# Importing the rule modules registers their checkers.
+from repro.analysis import code_rules as _code_rules  # noqa: F401
+from repro.analysis import scenario as _scenario_rules  # noqa: F401
+from repro.analysis.astutils import CodeModule
+from repro.analysis.baseline import apply_baseline, load_baseline
+from repro.analysis.diagnostics import Diagnostic, Severity, sort_diagnostics
+from repro.analysis.registry import (
+    DEFAULT_REGISTRY,
+    FAMILY_CODE,
+    FAMILY_SCENARIO,
+    Rule,
+    RuleRegistry,
+)
+from repro.analysis.scenario import ScenarioContext
+from repro.errors import AnalysisError
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Findings dropped by the baseline file.
+    suppressed: int = 0
+    #: Which rule families actually ran.
+    families: tuple[str, ...] = ()
+    #: The file paths / scenario names that were analyzed.
+    targets: tuple[str, ...] = ()
+
+    def exit_code(self, fail_on: Severity = Severity.WARNING) -> int:
+        if any(d.severity >= fail_on for d in self.diagnostics):
+            return EXIT_FINDINGS
+        return EXIT_CLEAN
+
+
+# -- code family -------------------------------------------------------------------
+
+
+def discover_python_files(paths: Sequence[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            found.add(path)
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d not in ("__pycache__", ".git")
+                )
+                for name in files:
+                    if name.endswith(".py"):
+                        found.add(os.path.join(root, name))
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+    return sorted(found)
+
+
+def lint_code(
+    paths: Sequence[str],
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+    registry: RuleRegistry = DEFAULT_REGISTRY,
+) -> LintResult:
+    """Run the code rule family over the given files/directories."""
+    rules = registry.resolve_selection(FAMILY_CODE, select, ignore)
+    files = discover_python_files(paths)
+    diagnostics: list[Diagnostic] = []
+    for path in files:
+        module = CodeModule.from_file(path)
+        diagnostics.extend(_lint_module(module, rules, registry))
+    return LintResult(
+        diagnostics=sort_diagnostics(diagnostics),
+        families=(FAMILY_CODE,),
+        targets=tuple(files),
+    )
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+    registry: RuleRegistry = DEFAULT_REGISTRY,
+) -> list[Diagnostic]:
+    """Lint one in-memory module (the fixture tests' entry point)."""
+    rules = registry.resolve_selection(FAMILY_CODE, select, ignore)
+    module = CodeModule.from_source(source, path)
+    return sort_diagnostics(_lint_module(module, rules, registry))
+
+
+def _lint_module(
+    module: CodeModule, rules: Iterable[Rule], registry: RuleRegistry
+) -> list[Diagnostic]:
+    diagnostics = []
+    for rule in rules:
+        checker = registry.checker(rule.id)
+        for diagnostic in checker(module):
+            if module.allowed(diagnostic.location.line, rule.id, rule.slug):
+                continue
+            diagnostics.append(diagnostic)
+    return diagnostics
+
+
+# -- scenario family ---------------------------------------------------------------
+
+#: Lazily-built named scenario factories, so ``repro lint --scenario``
+#: works out of the box on the bundled workloads.
+ScenarioFactory = Callable[[], ScenarioContext]
+
+
+def _movies_scenario() -> ScenarioContext:
+    from repro.utility.cost import BindJoinCost, LinearCost
+    from repro.workloads.movies import movie_domain
+
+    domain = movie_domain()
+    return ScenarioContext(
+        name="movies",
+        catalog=domain.catalog,
+        query=domain.query,
+        measures=(
+            LinearCost(),
+            BindJoinCost(domain_sizes=200.0),
+            BindJoinCost(domain_sizes=200.0, uniform_transfer=False,
+                         failure_aware=True),
+        ),
+    )
+
+
+def _cameras_scenario() -> ScenarioContext:
+    from repro.utility.cost import BindJoinCost, LinearCost
+    from repro.utility.coverage import CoverageUtility
+    from repro.workloads.cameras import camera_domain
+
+    domain = camera_domain()
+    return ScenarioContext(
+        name="cameras",
+        catalog=domain.catalog,
+        query=domain.query,
+        measures=(
+            LinearCost(),
+            BindJoinCost(domain_sizes=500.0),
+            CoverageUtility(domain.model),
+        ),
+        model=domain.model,
+    )
+
+
+def _paper_example_scenario() -> ScenarioContext:
+    from repro.utility.cost import LinearCost
+    from repro.utility.coverage import CoverageUtility
+    from repro.workloads.paper_example import paper_example
+
+    domain = paper_example()
+    return ScenarioContext(
+        name="paper-example",
+        catalog=domain.catalog,
+        query=domain.query,
+        measures=(LinearCost(), CoverageUtility(domain.model)),
+        model=domain.model,
+    )
+
+
+def _synthetic_scenario() -> ScenarioContext:
+    from repro.workloads.synthetic import generate_domain
+
+    domain = generate_domain(bucket_size=12, query_length=2, seed=3)
+    return ScenarioContext(
+        name="synthetic",
+        catalog=domain.catalog,
+        query=domain.query,
+        measures=(
+            domain.linear_cost(),
+            domain.bind_join_cost(),
+            domain.coverage(),
+            domain.failure_cost(),
+            domain.monetary(),
+        ),
+        model=domain.model,
+    )
+
+
+def _random_lav_scenario() -> ScenarioContext:
+    from repro.utility.cost import LinearCost
+    from repro.workloads.random_lav import ordering_scenario
+
+    domain = ordering_scenario(0)
+    return ScenarioContext(
+        name="random-lav",
+        catalog=domain.scenario.catalog,
+        query=domain.scenario.query,
+        measures=(
+            LinearCost(),
+            domain.bind_join_cost(),
+            domain.coverage(),
+        ),
+        model=domain.model,
+        # The random-LAV generator deliberately draws views that may
+        # cover no query subgoal — that incompleteness is the point of
+        # the cross-validation workload (see workloads/random_lav.py).
+        # At seed 0 the dead source is src1; waived, not fixed.
+        waived=frozenset({("SCN003", "src1")}),
+    )
+
+
+BUILTIN_SCENARIOS: dict[str, ScenarioFactory] = {
+    "movies": _movies_scenario,
+    "cameras": _cameras_scenario,
+    "paper-example": _paper_example_scenario,
+    "synthetic": _synthetic_scenario,
+    "random-lav": _random_lav_scenario,
+}
+
+
+def lint_scenarios(
+    names: Sequence[str] = (),
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+    registry: RuleRegistry = DEFAULT_REGISTRY,
+    contexts: Optional[Sequence[ScenarioContext]] = None,
+) -> LintResult:
+    """Run the scenario rule family over named or explicit scenarios."""
+    rules = registry.resolve_selection(FAMILY_SCENARIO, select, ignore)
+    if contexts is None:
+        chosen = tuple(names) or tuple(BUILTIN_SCENARIOS)
+        built: list[ScenarioContext] = []
+        for name in chosen:
+            try:
+                factory = BUILTIN_SCENARIOS[name]
+            except KeyError:
+                known = ", ".join(sorted(BUILTIN_SCENARIOS))
+                raise AnalysisError(
+                    f"unknown scenario {name!r}; bundled scenarios: {known}"
+                ) from None
+            built.append(factory())
+        contexts = built
+    diagnostics: list[Diagnostic] = []
+    for context in contexts:
+        for rule in rules:
+            checker = registry.checker(rule.id)
+            diagnostics.extend(checker(context))
+    return LintResult(
+        diagnostics=sort_diagnostics(diagnostics),
+        families=(FAMILY_SCENARIO,),
+        targets=tuple(c.name for c in contexts),
+    )
+
+
+def lint_scenario(
+    context: ScenarioContext,
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+    registry: RuleRegistry = DEFAULT_REGISTRY,
+) -> list[Diagnostic]:
+    """Lint one scenario context (the scenario tests' entry point)."""
+    return lint_scenarios(
+        select=select, ignore=ignore, registry=registry, contexts=[context]
+    ).diagnostics
+
+
+# -- combining families and the baseline -------------------------------------------
+
+
+def run_lint(
+    *,
+    code_paths: Sequence[str] = (),
+    scenario_names: Sequence[str] = (),
+    run_code: bool = False,
+    run_scenarios: bool = False,
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+    baseline_path: Optional[str] = None,
+    registry: RuleRegistry = DEFAULT_REGISTRY,
+) -> LintResult:
+    """One ``repro lint`` invocation: families, selection, baseline."""
+    if not run_code and not run_scenarios:
+        raise AnalysisError("nothing to lint: enable --code and/or --scenario")
+    diagnostics: list[Diagnostic] = []
+    families: list[str] = []
+    targets: list[str] = []
+    if run_code:
+        result = lint_code(
+            code_paths or ("src/repro",), select, ignore, registry
+        )
+        diagnostics.extend(result.diagnostics)
+        families.extend(result.families)
+        targets.extend(result.targets)
+    if run_scenarios:
+        result = lint_scenarios(scenario_names, select, ignore, registry)
+        diagnostics.extend(result.diagnostics)
+        families.extend(result.families)
+        targets.extend(result.targets)
+    suppressed = 0
+    if baseline_path is not None:
+        fingerprints = load_baseline(baseline_path)
+        diagnostics, suppressed = apply_baseline(
+            sort_diagnostics(diagnostics), fingerprints
+        )
+    return LintResult(
+        diagnostics=sort_diagnostics(diagnostics),
+        suppressed=suppressed,
+        families=tuple(families),
+        targets=tuple(targets),
+    )

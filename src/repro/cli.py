@@ -23,6 +23,9 @@ Commands
 ``bench-serve``
     Replay a random query mix against a served catalog and report
     throughput plus first/last-answer latency percentiles.
+``lint``
+    Static analysis (:mod:`repro.analysis`): the AST code rules over a
+    source tree and/or the scenario rules over bundled workloads.
 """
 
 from __future__ import annotations
@@ -281,6 +284,81 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0 if report.errors == 0 else 1
 
 
+def _split_patterns(values: Optional[Sequence[str]]) -> tuple[str, ...]:
+    patterns: list[str] = []
+    for value in values or ():
+        patterns.extend(p.strip() for p in value.split(",") if p.strip())
+    return tuple(patterns)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        DEFAULT_REGISTRY,
+        Severity,
+        render_json,
+        render_text,
+        write_baseline,
+    )
+    from repro.analysis.runner import EXIT_USAGE, run_lint
+    from repro.errors import AnalysisError
+
+    if args.list_rules:
+        for rule in DEFAULT_REGISTRY:
+            print(
+                f"{rule.id}  {rule.slug:28s} {rule.family:9s} "
+                f"{str(rule.severity):8s} {rule.summary}"
+            )
+        return 0
+
+    run_code = args.code or not args.scenario
+    run_scenarios = args.scenario or not args.code
+    try:
+        fail_on = Severity.from_name(args.fail_on)
+        result = run_lint(
+            code_paths=tuple(args.paths),
+            scenario_names=tuple(args.workload or ()),
+            run_code=run_code,
+            run_scenarios=run_scenarios,
+            select=_split_patterns(args.select),
+            ignore=_split_patterns(args.ignore),
+            baseline_path=args.baseline,
+        )
+        if args.write_baseline:
+            count = write_baseline(args.write_baseline, result.diagnostics)
+            print(f"wrote {count} fingerprints to {args.write_baseline}")
+            return 0
+    except (AnalysisError, ValueError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.format == "json":
+        report = render_json(
+            result.diagnostics,
+            suppressed=result.suppressed,
+            families=result.families,
+            targets=result.targets,
+        )
+    else:
+        report = render_text(
+            result.diagnostics,
+            suppressed=result.suppressed,
+            show_hints=not args.no_hints,
+        )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+            handle.write("\n")
+        print(f"wrote report to {args.output}")
+    else:
+        try:
+            print(report)
+        except BrokenPipeError:
+            # Downstream pager/head closed early; the exit code is the
+            # contract, not the truncated output.
+            pass
+    return result.exit_code(fail_on)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -373,6 +451,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     bench.add_argument("--first-k", type=int, default=None,
                        help="stop each request after k answers")
 
+    lint = sub.add_parser("lint", help="static analysis (code + scenarios)")
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files/directories for the code rules "
+                           "(default: src/repro)")
+    lint.add_argument("--code", action="store_true",
+                      help="run only the AST code rules")
+    lint.add_argument("--scenario", action="store_true",
+                      help="run only the scenario rules")
+    lint.add_argument("--workload", action="append", metavar="NAME",
+                      help="scenario to lint (repeatable; default: all "
+                           "bundled workloads)")
+    lint.add_argument("--select", action="append", metavar="RULES",
+                      help="comma-separated rule ids/slugs/prefixes to run")
+    lint.add_argument("--ignore", action="append", metavar="RULES",
+                      help="comma-separated rule ids/slugs/prefixes to skip")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--output", metavar="PATH", default=None,
+                      help="write the report to PATH instead of stdout")
+    lint.add_argument("--baseline", metavar="PATH", default=None,
+                      help="suppress findings fingerprinted in PATH")
+    lint.add_argument("--write-baseline", metavar="PATH", default=None,
+                      help="record current findings as the new baseline")
+    lint.add_argument("--fail-on", default="warning",
+                      choices=("info", "warning", "error"),
+                      help="lowest severity that fails the run "
+                           "(default: warning)")
+    lint.add_argument("--no-hints", action="store_true",
+                      help="omit fix hints from text output")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+
     args = parser.parse_args(argv)
     if args.command == "demo":
         return _cmd_demo(args)
@@ -384,6 +493,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "bench-serve":
         return _cmd_bench_serve(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -56,6 +56,19 @@ class TransientExecutionError(ExecutionError):
     """
 
 
+class InternalError(ReproError):
+    """An internal invariant the library relies on was violated.
+
+    Replaces production ``assert`` statements, which vanish under
+    ``python -O``: an impossible state must fail loudly in every
+    interpreter mode (enforced by the ``production-assert`` lint rule).
+    """
+
+
+class AnalysisError(ReproError):
+    """Raised by the static-analysis layer (bad rule ids, baselines, ...)."""
+
+
 class ServiceError(ReproError):
     """Raised by the concurrent query service layer."""
 

@@ -190,22 +190,25 @@ class MetricRegistry:
     # -- introspection ----------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._metrics
+        with self._lock:
+            return name in self._metrics
 
     def names(self) -> Iterator[str]:
-        return iter(self._metrics)
+        with self._lock:
+            return iter(tuple(self._metrics))
 
     def get(self, name: str):
-        return self._metrics.get(name)
+        with self._lock:
+            return self._metrics.get(name)
 
     def as_dict(self) -> dict[str, dict[str, object]]:
-        return {
-            name: metric.as_dict()
-            for name, metric in sorted(self._metrics.items())
-        }
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        return {name: metric.as_dict() for name, metric in metrics}
 
     # -- exporters --------------------------------------------------------------
 
@@ -221,7 +224,9 @@ class MetricRegistry:
         buffer = io.StringIO()
         writer = csv.writer(buffer)
         writer.writerow(["name", "kind", "field", "value"])
-        for name, metric in sorted(self._metrics.items()):
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        for name, metric in metrics:
             payload = metric.as_dict()
             kind = payload.pop("kind")
             for field, value in payload.items():
@@ -242,4 +247,5 @@ class MetricRegistry:
             handle.write(self.to_csv())
 
     def reset(self) -> None:
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+from repro.errors import InternalError
 from repro.ordering.base import EmitCallback, OrderedPlan, PlanOrderer
 from repro.reformulation.plans import PlanSpace, QueryPlan
 
@@ -61,7 +62,10 @@ class ExhaustiveOrderer(PlanOrderer):
                     best_utility = value
                     best_plan = plan
                     best_key = key
-            assert best_plan is not None
+            if best_plan is None:
+                raise InternalError(
+                    "non-empty remaining set produced no best plan"
+                )
             self.stats.snapshot_first_plan()
             yield OrderedPlan(best_plan, best_utility, rank)
             del remaining[best_plan.key]
@@ -118,7 +122,10 @@ class PIOrderer(PlanOrderer):
                     best_utility = value
                     best_plan = plan
                     best_key = key
-            assert best_plan is not None
+            if best_plan is None:
+                raise InternalError(
+                    "non-empty remaining set produced no best plan"
+                )
             self.stats.snapshot_first_plan()
             yield OrderedPlan(best_plan, best_utility, rank)
             del remaining[best_plan.key]

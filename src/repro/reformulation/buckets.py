@@ -69,6 +69,28 @@ def _unification_admissible(
     return True
 
 
+def bucket_candidates(
+    query: ConjunctiveQuery, catalog: Catalog
+) -> tuple[tuple[SourceDescription, ...], ...]:
+    """Per-subgoal bucket members, without raising on empty buckets.
+
+    The non-raising companion of :func:`build_buckets`: the scenario
+    linter uses it to report *which* subgoals are uncoverable and which
+    sources never enter any bucket, instead of aborting at the first
+    empty bucket.
+    """
+    catalog.validate_query(query)
+    head_vars = frozenset(query.head.variables())
+    return tuple(
+        tuple(
+            source
+            for source in catalog.sources
+            if source_covers_subgoal(source, subgoal, head_vars)
+        )
+        for subgoal in query.subgoals
+    )
+
+
 def build_buckets(query: ConjunctiveQuery, catalog: Catalog) -> PlanSpace:
     """Create one bucket per query subgoal and return the plan space.
 
@@ -76,15 +98,9 @@ def build_buckets(query: ConjunctiveQuery, catalog: Catalog) -> PlanSpace:
     has no covering source: the query is then unanswerable from the
     available sources.
     """
-    catalog.validate_query(query)
-    head_vars = frozenset(query.head.variables())
     buckets: list[Bucket] = []
-    for index, subgoal in enumerate(query.subgoals):
-        members = tuple(
-            source
-            for source in catalog.sources
-            if source_covers_subgoal(source, subgoal, head_vars)
-        )
+    for index, members in enumerate(bucket_candidates(query, catalog)):
+        subgoal = query.subgoal(index)
         if not members:
             raise ReformulationError(
                 f"no source covers subgoal {subgoal} of query {query.name!r}"

@@ -49,6 +49,29 @@ def inverse_rules(source: SourceDescription) -> tuple[Rule, ...]:
     return tuple(rules)
 
 
+def exported_position_map(
+    catalog: Catalog, predicate: str, arity: int
+) -> tuple[bool, ...]:
+    """Which columns of a schema relation are recoverable at all.
+
+    Position ``i`` is True when *some* source's inverse rule for
+    *predicate* carries a non-Skolem term there — i.e. at least one
+    source exposes (or pins to a constant) that column.  An all-Skolem
+    column can never feed a query head variable: every source covering
+    the relation projected it away.  Used by the scenario linter's
+    ``unrecoverable-head-variable`` rule.
+    """
+    exported = [False] * arity
+    for source in catalog.sources:
+        for rule in inverse_rules(source):
+            if rule.head.predicate != predicate or rule.head.arity != arity:
+                continue
+            for index, arg in enumerate(rule.head.args):
+                if not isinstance(arg, FunctionTerm):
+                    exported[index] = True
+    return tuple(exported)
+
+
 def inverse_rules_program(
     catalog: Catalog, query: ConjunctiveQuery
 ) -> Program:

@@ -120,7 +120,9 @@ class FlakyBackend(ExecutionBackend):
         return self.inner.execute(executable, database)
 
     def __repr__(self) -> str:
+        with self._lock:
+            failures = self.failures_injected
         return (
             f"<FlakyBackend p={self.failure_prob} seed={self.seed} "
-            f"failures={self.failures_injected}>"
+            f"failures={failures}>"
         )

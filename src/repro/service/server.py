@@ -36,7 +36,12 @@ from dataclasses import dataclass, field
 from queue import Full, Queue
 from typing import Callable, Mapping, Optional
 
-from repro.errors import ReproError, ServiceError, ServiceOverloadedError
+from repro.errors import (
+    InternalError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from repro.datalog.query import ConjunctiveQuery
 from repro.execution.mediator import AnswerBatch, Mediator
 from repro.observability.caching import CachingUtilityMeasure
@@ -145,7 +150,8 @@ class _Pending:
     def wait(self, timeout: Optional[float] = None) -> RequestResult:
         if not self._done.wait(timeout):
             raise ServiceError("timed out waiting for request result")
-        assert self.result is not None
+        if self.result is None:
+            raise InternalError("request resolved without a result")
         return self.result
 
 
@@ -332,7 +338,10 @@ class QueryService:
                 if on_batch is not None:
                     on_batch(batch)
             report = session.last_report
-            assert report is not None
+            if report is None:
+                raise InternalError(
+                    "session stream finished without leaving a report"
+                )
         except ReproError as exc:
             self._m_errors.inc()
             return RequestResult(request_id, "error", error=str(exc))

@@ -40,7 +40,11 @@ from dataclasses import dataclass, field
 from queue import Empty, Full, Queue
 from typing import Iterator, Optional
 
-from repro.errors import ExecutionError, TransientExecutionError
+from repro.errors import (
+    ExecutionError,
+    InternalError,
+    TransientExecutionError,
+)
 from repro.datalog.query import ConjunctiveQuery
 from repro.execution.mediator import AnswerBatch, Mediator
 from repro.observability.metrics import MetricRegistry
@@ -447,5 +451,6 @@ class PipelinedSession:
             self.stream(query, utility, orderer=orderer, policy=policy)
         )
         report = self.last_report
-        assert report is not None
+        if report is None:
+            raise InternalError("stream() finished without leaving a report")
         return batches, report

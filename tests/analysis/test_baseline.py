@@ -1,0 +1,98 @@
+"""Tests for baseline files (write / load / apply)."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+from repro.errors import AnalysisError
+
+
+def make(message="m", file="f.py", line=3):
+    return Diagnostic(
+        rule="COD999",
+        severity=Severity.WARNING,
+        message=message,
+        location=Location(file, line),
+    )
+
+
+class TestRoundTrip:
+    def test_write_then_load_recovers_fingerprints(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        known = [make("one"), make("two")]
+        assert write_baseline(path, known) == 2
+        fingerprints = load_baseline(path)
+        assert fingerprints == {d.fingerprint() for d in known}
+
+    def test_written_file_is_versioned_and_annotated(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [make("one")])
+        payload = json.loads((tmp_path / "baseline.json").read_text())
+        assert payload["version"] == BASELINE_VERSION
+        (entry,) = payload["fingerprints"].values()
+        assert entry == {"rule": "COD999", "file": "f.py", "message": "one"}
+
+
+class TestApply:
+    def test_baselined_findings_are_suppressed(self):
+        old, new = make("old"), make("new")
+        fresh, suppressed = apply_baseline(
+            [old, new], frozenset({old.fingerprint()})
+        )
+        assert fresh == [new]
+        assert suppressed == 1
+
+    def test_line_moves_do_not_resurface_findings(self):
+        recorded = make("same", line=3)
+        moved = make("same", line=90)
+        fresh, suppressed = apply_baseline(
+            [moved], frozenset({recorded.fingerprint()})
+        )
+        assert fresh == []
+        assert suppressed == 1
+
+    def test_message_change_resurfaces_the_finding(self):
+        recorded = make("old message")
+        changed = make("new message")
+        fresh, suppressed = apply_baseline(
+            [changed], frozenset({recorded.fingerprint()})
+        )
+        assert fresh == [changed]
+        assert suppressed == 0
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(AnalysisError, match="cannot read baseline"):
+            load_baseline(str(tmp_path / "absent.json"))
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(AnalysisError, match="not valid JSON"):
+            load_baseline(str(path))
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"version": 99, "fingerprints": {}}))
+        with pytest.raises(AnalysisError, match="version"):
+            load_baseline(str(path))
+
+    def test_missing_fingerprints_key(self, tmp_path):
+        path = tmp_path / "shapeless.json"
+        path.write_text(json.dumps({"version": BASELINE_VERSION}))
+        with pytest.raises(AnalysisError, match="fingerprints"):
+            load_baseline(str(path))
+
+    def test_non_object_payload(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[]")
+        with pytest.raises(AnalysisError, match="JSON object"):
+            load_baseline(str(path))

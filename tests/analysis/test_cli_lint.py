@@ -1,0 +1,114 @@
+"""End-to-end tests for ``repro lint``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+BAD_MODULE = """\
+def pick(items, seen=[]):
+    assert items
+    return items[0]
+"""
+
+CLEAN_MODULE = """\
+def pick(items):
+    if not items:
+        return None
+    return items[0]
+"""
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "bad.py"
+    path.write_text(BAD_MODULE)
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN_MODULE)
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, clean_file, capsys):
+        assert main(["lint", "--code", clean_file]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, bad_file, capsys):
+        assert main(["lint", "--code", bad_file]) == 1
+        out = capsys.readouterr().out
+        assert "COD003" in out
+        assert "COD005" in out
+
+    def test_fail_on_error_ignores_warnings(self, bad_file):
+        assert main(["lint", "--code", bad_file, "--select", "COD005",
+                     "--fail-on", "error"]) == 0
+
+    def test_bad_select_pattern_exits_two(self, clean_file, capsys):
+        assert main(["lint", "--code", clean_file,
+                     "--select", "TYPO999"]) == 2
+        assert "matches no rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", "--code", str(tmp_path / "absent")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestScenarioFlag:
+    def test_named_workload_runs_clean(self, capsys):
+        assert main(["lint", "--scenario", "--workload", "movies"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_unknown_workload_exits_two(self, capsys):
+        assert main(["lint", "--scenario", "--workload", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestOutputFormats:
+    def test_json_report_shape(self, bad_file, capsys):
+        assert main(["lint", "--code", bad_file, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "repro-lint"
+        assert payload["families"] == ["code"]
+        assert payload["summary"]["total"] == 2
+        assert {d["rule"] for d in payload["diagnostics"]} == {
+            "COD003", "COD005"
+        }
+
+    def test_output_flag_writes_a_file(self, bad_file, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        code = main(["lint", "--code", bad_file, "--format", "json",
+                     "--output", str(report)])
+        assert code == 1
+        assert json.loads(report.read_text())["summary"]["total"] == 2
+        assert "wrote report to" in capsys.readouterr().out
+
+    def test_no_hints_strips_fix_hints(self, bad_file, capsys):
+        main(["lint", "--code", bad_file, "--no-hints"])
+        assert "[hint:" not in capsys.readouterr().out
+
+    def test_list_rules_prints_the_catalog(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("COD001", "COD002", "COD003", "COD004", "COD005",
+                        "SCN001", "SCN002", "SCN003", "SCN004", "SCN005",
+                        "SCN006"):
+            assert rule_id in out
+
+
+class TestBaselineWorkflow:
+    def test_write_then_apply(self, bad_file, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", "--code", bad_file,
+                     "--write-baseline", baseline]) == 0
+        assert "wrote 2 fingerprints" in capsys.readouterr().out
+        assert main(["lint", "--code", bad_file,
+                     "--baseline", baseline]) == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+        assert "2 suppressed by baseline" in out

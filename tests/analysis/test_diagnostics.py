@@ -1,0 +1,108 @@
+"""Tests for the shared diagnostics model."""
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Location,
+    Severity,
+    max_severity,
+    sort_diagnostics,
+)
+def make(rule="COD999", severity=Severity.WARNING, message="m",
+         file="f.py", line=3, column=1, **kwargs):
+    return Diagnostic(
+        rule=rule,
+        severity=severity,
+        message=message,
+        location=Location(file, line, column),
+        **kwargs,
+    )
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_str_is_lowercase_name(self):
+        assert str(Severity.WARNING) == "warning"
+
+    def test_from_name(self):
+        assert Severity.from_name("error") is Severity.ERROR
+        assert Severity.from_name("INFO") is Severity.INFO
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Severity.from_name("fatal")
+
+
+class TestDiagnostic:
+    def test_format_carries_location_rule_and_hint(self):
+        rendered = make(
+            message="bad thing", fix_hint="do better"
+        ).format()
+        assert "f.py:3:1" in rendered
+        assert "COD999" in rendered
+        assert "warning" in rendered
+        assert "bad thing" in rendered
+        assert "do better" in rendered
+
+    def test_format_can_drop_hint(self):
+        rendered = make(fix_hint="do better").format(show_hint=False)
+        assert "do better" not in rendered
+
+    def test_as_dict_round_trips_fields(self):
+        record = make(
+            rule="SCN001",
+            severity=Severity.ERROR,
+            family="scenario",
+            data={"source": "v1"},
+        ).as_dict()
+        assert record["rule"] == "SCN001"
+        assert record["severity"] == "error"
+        assert record["family"] == "scenario"
+        assert record["data"] == {"source": "v1"}
+
+    def test_with_severity_preserves_everything_else(self):
+        original = make(severity=Severity.WARNING)
+        demoted = original.with_severity(Severity.INFO)
+        assert demoted.severity is Severity.INFO
+        assert demoted.rule == original.rule
+        assert demoted.message == original.message
+
+
+class TestFingerprint:
+    def test_stable_across_line_moves(self):
+        first = make(line=3)
+        moved = make(line=300, column=9)
+        assert first.fingerprint() == moved.fingerprint()
+
+    def test_differs_by_rule_file_and_message(self):
+        base = make()
+        assert base.fingerprint() != make(rule="COD998").fingerprint()
+        assert base.fingerprint() != make(file="g.py").fingerprint()
+        assert base.fingerprint() != make(message="other").fingerprint()
+
+    def test_is_short_hex(self):
+        fingerprint = make().fingerprint()
+        assert len(fingerprint) == 16
+        int(fingerprint, 16)  # must parse as hex
+
+
+class TestAggregation:
+    def test_sort_orders_by_file_then_line(self):
+        unsorted = [
+            make(file="b.py", line=1),
+            make(file="a.py", line=9),
+            make(file="a.py", line=2),
+        ]
+        ordered = sort_diagnostics(unsorted)
+        assert [(d.location.file, d.location.line) for d in ordered] == [
+            ("a.py", 2), ("a.py", 9), ("b.py", 1)
+        ]
+
+    def test_max_severity(self):
+        assert max_severity([]) is None
+        found = max_severity([make(severity=Severity.INFO),
+                              make(severity=Severity.ERROR)])
+        assert found is Severity.ERROR

@@ -1,0 +1,129 @@
+"""Tests for rule registration and --select/--ignore resolution."""
+
+import pytest
+
+import repro.analysis  # noqa: F401 — importing registers the shipped rules
+from repro.analysis.diagnostics import Severity
+from repro.analysis.registry import (
+    DEFAULT_REGISTRY,
+    FAMILY_CODE,
+    FAMILY_SCENARIO,
+    Rule,
+    RuleRegistry,
+    rule,
+)
+from repro.errors import AnalysisError
+
+
+def make_rule(rule_id="TST001", slug="test-rule", family=FAMILY_CODE):
+    return Rule(rule_id, slug, family, Severity.WARNING, "a test rule")
+
+
+def no_findings(_context):
+    return ()
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        registry = RuleRegistry()
+        registry.register(make_rule(), no_findings)
+        assert "TST001" in registry
+        assert registry.get("TST001").slug == "test-rule"
+        assert registry.checker("TST001") is no_findings
+
+    def test_duplicate_id_rejected(self):
+        registry = RuleRegistry()
+        registry.register(make_rule(), no_findings)
+        with pytest.raises(AnalysisError, match="duplicate rule id"):
+            registry.register(make_rule(slug="other-slug"), no_findings)
+
+    def test_duplicate_slug_rejected(self):
+        registry = RuleRegistry()
+        registry.register(make_rule(), no_findings)
+        with pytest.raises(AnalysisError, match="duplicate rule slug"):
+            registry.register(make_rule(rule_id="TST002"), no_findings)
+
+    def test_unknown_family_rejected(self):
+        registry = RuleRegistry()
+        with pytest.raises(AnalysisError, match="family"):
+            registry.register(make_rule(family="vibes"), no_findings)
+
+    def test_unknown_rule_lookup_raises(self):
+        with pytest.raises(AnalysisError, match="unknown rule"):
+            RuleRegistry().get("NOPE01")
+
+    def test_decorator_registers_into_given_registry(self):
+        registry = RuleRegistry()
+
+        @rule("TST009", "decorated", FAMILY_SCENARIO, Severity.INFO,
+              "decorated rule", registry=registry)
+        def checker(_context):
+            return ()
+
+        assert registry.get("TST009").family == FAMILY_SCENARIO
+        assert registry.checker("TST009") is checker
+
+
+class TestMatching:
+    def test_matches_exact_id_and_slug(self):
+        r = make_rule()
+        assert r.matches("TST001")
+        assert r.matches("test-rule")
+        assert not r.matches("test")
+
+    def test_matches_id_prefix_case_insensitively(self):
+        r = make_rule()
+        assert r.matches("TST")
+        assert r.matches("tst001")
+        assert not r.matches("")
+
+
+class TestSelection:
+    @pytest.fixture
+    def registry(self):
+        registry = RuleRegistry()
+        registry.register(make_rule("TST001", "first"), no_findings)
+        registry.register(make_rule("TST002", "second"), no_findings)
+        registry.register(
+            make_rule("SCX001", "scenario-one", FAMILY_SCENARIO), no_findings
+        )
+        return registry
+
+    def test_no_patterns_selects_whole_family(self, registry):
+        chosen = registry.resolve_selection(FAMILY_CODE)
+        assert [r.id for r in chosen] == ["TST001", "TST002"]
+
+    def test_select_narrows(self, registry):
+        chosen = registry.resolve_selection(FAMILY_CODE, select=["TST002"])
+        assert [r.id for r in chosen] == ["TST002"]
+
+    def test_select_by_slug(self, registry):
+        chosen = registry.resolve_selection(FAMILY_CODE, select=["first"])
+        assert [r.id for r in chosen] == ["TST001"]
+
+    def test_ignore_wins_over_select(self, registry):
+        chosen = registry.resolve_selection(
+            FAMILY_CODE, select=["TST"], ignore=["TST001"]
+        )
+        assert [r.id for r in chosen] == ["TST002"]
+
+    def test_unknown_pattern_is_an_error(self, registry):
+        with pytest.raises(AnalysisError, match="matches no rule"):
+            registry.resolve_selection(FAMILY_CODE, select=["TYPO"])
+
+    def test_family_filter_keeps_other_family_out(self, registry):
+        chosen = registry.resolve_selection(FAMILY_CODE, select=["SCX", "TST"])
+        assert [r.id for r in chosen] == ["TST001", "TST002"]
+
+
+class TestShippedCatalog:
+    def test_all_shipped_rules_present(self):
+        ids = {r.id for r in DEFAULT_REGISTRY}
+        assert {"COD001", "COD002", "COD003", "COD004", "COD005"} <= ids
+        assert {"SCN001", "SCN002", "SCN003", "SCN004", "SCN005",
+                "SCN006"} <= ids
+
+    def test_shipped_rules_document_themselves(self):
+        for shipped in DEFAULT_REGISTRY:
+            assert shipped.summary
+            assert shipped.rationale

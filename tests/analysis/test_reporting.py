@@ -1,0 +1,91 @@
+"""Tests for the text and JSON reporters."""
+
+import json
+
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+from repro.analysis.reporting import (
+    TOOL_NAME,
+    render_json,
+    render_text,
+    summarize,
+)
+
+
+def make(severity=Severity.WARNING, message="m", file="f.py", line=3,
+         fix_hint=""):
+    return Diagnostic(
+        rule="COD999",
+        severity=severity,
+        message=message,
+        location=Location(file, line),
+        fix_hint=fix_hint,
+    )
+
+
+class TestSummarize:
+    def test_empty(self):
+        assert summarize([]) == "no findings"
+
+    def test_counts_by_severity_worst_first(self):
+        text = summarize([
+            make(Severity.WARNING),
+            make(Severity.ERROR),
+            make(Severity.ERROR),
+        ])
+        assert text == "2 errors, 1 warning"
+
+    def test_singular_noun(self):
+        assert summarize([make(Severity.INFO)]) == "1 info"
+
+
+class TestRenderText:
+    def test_one_line_per_finding_plus_trailer(self):
+        text = render_text([make(message="first"), make(message="second")])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[-1] == "2 warnings"
+
+    def test_findings_come_out_sorted(self):
+        text = render_text([
+            make(file="z.py", message="later"),
+            make(file="a.py", message="earlier"),
+        ])
+        assert text.index("a.py") < text.index("z.py")
+
+    def test_suppressed_counter_in_trailer(self):
+        text = render_text([make()], suppressed=4)
+        assert "(4 suppressed by baseline)" in text
+
+    def test_hints_are_optional(self):
+        noisy = render_text([make(fix_hint="try harder")])
+        quiet = render_text([make(fix_hint="try harder")], show_hints=False)
+        assert "try harder" in noisy
+        assert "try harder" not in quiet
+
+
+class TestRenderJson:
+    def test_shape(self):
+        payload = json.loads(render_json(
+            [make(Severity.ERROR)],
+            suppressed=1,
+            families=["code"],
+            targets=["f.py"],
+        ))
+        assert payload["tool"] == TOOL_NAME
+        assert payload["families"] == ["code"]
+        assert payload["targets"] == ["f.py"]
+        summary = payload["summary"]
+        assert summary["total"] == 1
+        assert summary["by_severity"]["error"] == 1
+        assert summary["by_severity"]["info"] == 0
+        assert summary["max_severity"] == "error"
+        assert summary["suppressed_by_baseline"] == 1
+        (record,) = payload["diagnostics"]
+        assert record["rule"] == "COD999"
+        assert record["fingerprint"]
+
+    def test_empty_run(self):
+        payload = json.loads(render_json([]))
+        assert payload["summary"]["total"] == 0
+        assert payload["summary"]["max_severity"] is None
+        assert payload["diagnostics"] == []

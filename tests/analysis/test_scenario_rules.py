@@ -1,0 +1,323 @@
+"""Fixture tests for the scenario rule family.
+
+Each rule gets a deliberately broken catalog/query pair (known-bad) and
+a well-formed one (known-clean); SCN006 additionally gets utility
+measures whose declared structural flags lie.
+"""
+
+import pytest
+
+from repro.analysis.runner import lint_scenario
+from repro.analysis.scenario import ScenarioContext
+from repro.datalog.parser import parse_query
+from repro.datalog.query import ConjunctiveQuery
+from repro.datalog.terms import Atom, Variable
+from repro.sources.catalog import Catalog, SourceDescription
+from repro.sources.statistics import SourceStats
+from repro.utility.base import UtilityMeasure
+from repro.utility.cost import LinearCost
+from repro.utility.intervals import Interval
+
+
+def scenario(catalog, query, **kwargs):
+    if isinstance(query, str):
+        query = parse_query(query)
+    return ScenarioContext(name="fixture", catalog=catalog, query=query,
+                           **kwargs)
+
+
+def rules_hit(context, **kwargs):
+    return [d.rule for d in lint_scenario(context, **kwargs)]
+
+
+@pytest.fixture
+def clean_catalog():
+    catalog = Catalog({"r": 2, "s": 2})
+    catalog.add_source("v1(X, Y) :- r(X, Y)")
+    catalog.add_source("v2(Y, Z) :- s(Y, Z)")
+    return catalog
+
+
+CLEAN_QUERY = "q(X, Z) :- r(X, Y), s(Y, Z)"
+
+
+class TestCleanScenario:
+    def test_well_formed_catalog_reports_nothing(self, clean_catalog):
+        context = scenario(clean_catalog, CLEAN_QUERY,
+                           measures=(LinearCost(),))
+        assert rules_hit(context) == []
+
+
+class TestUnsafeView:
+    def test_catches_unsafe_query(self, clean_catalog):
+        # The parser refuses unsafe queries, so build one directly: the
+        # head variable W never occurs in the body.
+        unsafe = ConjunctiveQuery(
+            Atom("q", (Variable("X"), Variable("W"))),
+            (Atom("r", (Variable("X"), Variable("Y"))),),
+        )
+        context = scenario(clean_catalog, unsafe)
+        (finding,) = lint_scenario(context, select=["SCN001"])
+        assert finding.rule == "SCN001"
+        assert "W" in finding.message
+
+    def test_catches_unsafe_source_view(self):
+        # SourceDescription validates safety on construction, so smuggle
+        # an unsafe view past __post_init__ the way a future loader bug
+        # would: by building the frozen dataclass without running it.
+        view = ConjunctiveQuery(
+            Atom("v1", (Variable("X"), Variable("W"))),
+            (Atom("r", (Variable("X"), Variable("Y"))),),
+        )
+        source = object.__new__(SourceDescription)
+        object.__setattr__(source, "name", "v1")
+        object.__setattr__(source, "view", view)
+        object.__setattr__(source, "stats", SourceStats())
+
+        class StubCatalog:
+            sources = (source,)
+
+        context = scenario(StubCatalog(), "q(X) :- r(X, Y)")
+        (finding,) = lint_scenario(context, select=["SCN001"])
+        assert "source 'v1'" in finding.message
+
+    def test_clean_safe_query(self, clean_catalog):
+        context = scenario(clean_catalog, CLEAN_QUERY)
+        assert rules_hit(context, select=["SCN001"]) == []
+
+
+class TestUnrecoverableHeadVariable:
+    def test_catches_head_variable_every_source_projects_away(self):
+        catalog = Catalog({"r": 2})
+        catalog.add_source("v1(X) :- r(X, Y)")  # hides column 1
+        context = scenario(catalog, "q(X, Y) :- r(X, Y)")
+        (finding,) = lint_scenario(context, select=["SCN002"])
+        assert finding.rule == "SCN002"
+        assert "position 1" in finding.message
+        assert finding.data["variable"] == "Y"
+
+    def test_clean_when_some_source_exposes_the_column(self):
+        catalog = Catalog({"r": 2})
+        catalog.add_source("v1(X) :- r(X, Y)")
+        catalog.add_source("v2(X, Y) :- r(X, Y)")
+        context = scenario(catalog, "q(X, Y) :- r(X, Y)")
+        assert rules_hit(context, select=["SCN002"]) == []
+
+    def test_uncovered_relation_is_not_this_rules_business(self):
+        catalog = Catalog({"r": 2, "s": 2})
+        catalog.add_source("v1(X, Y) :- r(X, Y)")
+        context = scenario(catalog, "q(X, Z) :- r(X, Y), s(Y, Z)")
+        assert rules_hit(context, select=["SCN002"]) == []
+
+
+class TestDeadSource:
+    def test_catches_source_outside_every_bucket(self):
+        # dead hides column 1 of r, which carries the query head
+        # variable Y — so it covers neither subgoal of the query.
+        catalog = Catalog({"r": 2, "s": 2})
+        catalog.add_source("v1(X, Y) :- r(X, Y)")
+        catalog.add_source("v2(Y, Z) :- s(Y, Z)")
+        catalog.add_source("dead(X) :- r(X, Y)")
+        context = scenario(catalog, "q(X, Y) :- r(X, Y), s(Y, Z)")
+        findings = lint_scenario(context, select=["SCN003"])
+        assert [d.rule for d in findings] == ["SCN003"]
+        assert findings[0].data["source"] == "dead"
+
+    def test_waiver_silences_an_intentional_dead_source(self):
+        catalog = Catalog({"r": 2, "s": 2})
+        catalog.add_source("v1(X, Y) :- r(X, Y)")
+        catalog.add_source("v2(Y, Z) :- s(Y, Z)")
+        catalog.add_source("dead(X) :- r(X, Y)")
+        context = scenario(
+            catalog,
+            "q(X, Y) :- r(X, Y), s(Y, Z)",
+            waived=frozenset({("SCN003", "dead")}),
+        )
+        assert rules_hit(context, select=["SCN003"]) == []
+
+    def test_clean_when_every_source_joins_a_bucket(self, clean_catalog):
+        context = scenario(clean_catalog, CLEAN_QUERY)
+        assert rules_hit(context, select=["SCN003"]) == []
+
+
+class TestEmptyBucket:
+    def test_catches_uncovered_subgoal(self):
+        catalog = Catalog({"r": 2, "s": 2})
+        catalog.add_source("v1(X, Y) :- r(X, Y)")
+        context = scenario(catalog, CLEAN_QUERY)
+        (finding,) = lint_scenario(context, select=["SCN004"])
+        assert finding.rule == "SCN004"
+        assert finding.data == {"bucket": 1, "predicate": "s"}
+
+    def test_clean_when_every_subgoal_is_covered(self, clean_catalog):
+        context = scenario(clean_catalog, CLEAN_QUERY)
+        assert rules_hit(context, select=["SCN004"]) == []
+
+
+class TestRedundantView:
+    def test_catches_equivalent_views_with_equal_stats(self, clean_catalog):
+        clean_catalog.add_source("v1b(A, B) :- r(A, B)")  # = v1, same stats
+        context = scenario(clean_catalog, CLEAN_QUERY)
+        (finding,) = lint_scenario(context, select=["SCN005"])
+        assert finding.rule == "SCN005"
+        assert {finding.data["first"], finding.data["second"]} == {"v1", "v1b"}
+
+    def test_different_stats_break_the_tie(self, clean_catalog):
+        # Equal definitions alone are fine: sources are incomplete, so
+        # the two may well hold different tuples — and the orderers can
+        # tell them apart through their statistics.
+        clean_catalog.add_source(
+            "v1b(A, B) :- r(A, B)", stats=SourceStats(n_tuples=7)
+        )
+        context = scenario(clean_catalog, CLEAN_QUERY)
+        assert rules_hit(context, select=["SCN005"]) == []
+
+    def test_waiver_by_pair_in_either_order(self, clean_catalog):
+        clean_catalog.add_source("v1b(A, B) :- r(A, B)")
+        context = scenario(
+            clean_catalog, CLEAN_QUERY,
+            waived=frozenset({("SCN005", "v1b/v1")}),
+        )
+        assert rules_hit(context, select=["SCN005"]) == []
+
+
+class TestRedundantViewContainmentEdgeCases:
+    """Satellite: shapes where equivalence must NOT be inferred."""
+
+    def test_repeated_head_variables_are_not_redundant(self):
+        catalog = Catalog({"r": 2})
+        catalog.add_source("v1(X, X) :- r(X, X)")
+        catalog.add_source("v2(X, Y) :- r(X, Y)")
+        context = scenario(catalog, "q(X, Y) :- r(X, Y)")
+        assert rules_hit(context, select=["SCN005"]) == []
+
+    def test_constant_in_view_body_is_not_redundant(self):
+        catalog = Catalog({"r": 2})
+        catalog.add_source("v1(X) :- r(X, c)")
+        catalog.add_source("v2(X) :- r(X, Y)")
+        context = scenario(catalog, "q(X) :- r(X, Y)")
+        assert rules_hit(context, select=["SCN005"]) == []
+
+    def test_self_join_view_is_not_redundant_with_single_atom_view(self):
+        catalog = Catalog({"r": 2})
+        catalog.add_source("v1(X, Y) :- r(X, Y)")
+        catalog.add_source("v2(X, Y) :- r(X, Z), r(Z, Y)")
+        context = scenario(catalog, "q(X, Y) :- r(X, Y)")
+        assert rules_hit(context, select=["SCN005"]) == []
+
+    def test_renamed_self_join_views_are_redundant(self):
+        # The positive control: equivalence up to variable renaming
+        # (with equal stats) must still be caught.
+        catalog = Catalog({"r": 2})
+        catalog.add_source("v1(X, Y) :- r(X, Z), r(Z, Y)")
+        catalog.add_source("v2(A, B) :- r(A, M), r(M, B)")
+        context = scenario(catalog, "q(X, Y) :- r(X, Z), r(Z, Y)")
+        hits = rules_hit(context, select=["SCN005"])
+        assert hits == ["SCN005"]
+
+
+# -- SCN006: lying measure flags ---------------------------------------------------
+
+
+class ConstantMeasure(UtilityMeasure):
+    """Honest baseline: constant utility, trivially everything."""
+
+    name = "constant"
+    is_fully_monotonic = False
+    context_free = True
+    has_diminishing_returns = True
+
+    def evaluate(self, plan, context):
+        return 1.0
+
+    def evaluate_slots(self, slots, context):
+        return Interval.point(1.0)
+
+
+class UnsoundIntervalMeasure(ConstantMeasure):
+    """Lies in evaluate_slots: the interval misses every plan."""
+
+    name = "unsound-interval"
+
+    def evaluate_slots(self, slots, context):
+        return Interval(5.0, 9.0)
+
+
+class KeylessMonotonicMeasure(ConstantMeasure):
+    """Claims full monotonicity but defines no preference key."""
+
+    name = "keyless-monotonic"
+    is_fully_monotonic = True
+
+
+class ContextDependentButClaimsFree(ConstantMeasure):
+    """Claims context freeness while reading the executed set."""
+
+    name = "lying-context-free"
+
+    def evaluate(self, plan, context):
+        return 1.0 + len(context.executed)
+
+    def evaluate_slots(self, slots, context):
+        return Interval(1.0, 1000.0)
+
+
+class GrowingReturnsMeasure(ConstantMeasure):
+    """Claims diminishing returns while utility grows with history."""
+
+    name = "growing-returns"
+    context_free = False
+    has_diminishing_returns = True
+
+    def evaluate(self, plan, context):
+        return 1.0 + len(context.executed)
+
+    def evaluate_slots(self, slots, context):
+        return Interval(1.0, 1000.0)
+
+
+class TestMeasureProperties:
+    @pytest.fixture
+    def catalog(self):
+        catalog = Catalog({"r": 1})
+        catalog.add_source("v1(X) :- r(X)")
+        catalog.add_source("v2(X) :- r(X)", stats=SourceStats(n_tuples=7))
+        return catalog
+
+    QUERY = "q(X) :- r(X)"
+
+    def test_honest_measure_is_clean(self, catalog):
+        context = scenario(catalog, self.QUERY,
+                           measures=(ConstantMeasure(), LinearCost()))
+        assert rules_hit(context, select=["SCN006"]) == []
+
+    def test_catches_unsound_interval(self, catalog):
+        context = scenario(catalog, self.QUERY,
+                           measures=(UnsoundIntervalMeasure(),))
+        (finding,) = lint_scenario(context, select=["SCN006"])
+        assert "interval evaluation is unsound" in finding.message
+
+    def test_catches_monotonicity_claim_without_key(self, catalog):
+        context = scenario(catalog, self.QUERY,
+                           measures=(KeylessMonotonicMeasure(),))
+        (finding,) = lint_scenario(context, select=["SCN006"])
+        assert "no source preference key" in finding.message
+
+    def test_catches_context_freeness_lie(self, catalog):
+        context = scenario(catalog, self.QUERY,
+                           measures=(ContextDependentButClaimsFree(),))
+        (finding,) = lint_scenario(context, select=["SCN006"])
+        assert "claims context freeness" in finding.message
+
+    def test_catches_diminishing_returns_lie(self, catalog):
+        context = scenario(catalog, self.QUERY,
+                           measures=(GrowingReturnsMeasure(),))
+        (finding,) = lint_scenario(context, select=["SCN006"])
+        assert "claims diminishing returns" in finding.message
+
+    def test_empty_plan_space_skips_the_spot_checks(self):
+        catalog = Catalog({"r": 1, "s": 1})
+        catalog.add_source("v1(X) :- r(X)")
+        context = scenario(catalog, "q(X) :- r(X), s(X)",
+                           measures=(UnsoundIntervalMeasure(),))
+        assert rules_hit(context, select=["SCN006"]) == []
