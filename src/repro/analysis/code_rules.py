@@ -17,6 +17,10 @@ encode *this repo's* invariants:
 * ``COD004 broad-except`` — ``except Exception`` that neither
   re-raises nor uses the caught exception swallows failures silently.
 * ``COD005 mutable-default-arg`` — the classic shared-default trap.
+* ``COD006 bare-sleep`` — ``time.sleep`` in service/resilience code is
+  an uninterruptible pause; shutdown and cancellation must be able to
+  wake every wait, so pauses go through an event-like ``.wait()``
+  (``CancellationToken.wait``, ``threading.Event.wait``).
 
 Every checker takes a :class:`~repro.analysis.astutils.CodeModule` and
 yields :class:`~repro.analysis.diagnostics.Diagnostic` records.
@@ -446,3 +450,67 @@ def check_mutable_default(module: CodeModule) -> Iterator[Diagnostic]:
                 "the function body",
                 function=node.name,
             )
+
+
+# -- COD006: bare time.sleep -------------------------------------------------------
+
+
+def _time_sleep_imports(tree: ast.Module) -> set[str]:
+    """Local names that resolve to ``time.sleep`` in this module."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name == "sleep":
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+def _enclosing_function(
+    tree: ast.Module, target: ast.AST
+) -> Optional[str]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for child in ast.walk(node):
+                if child is target:
+                    return node.name
+    return None
+
+
+@rule(
+    "COD006",
+    "bare-sleep",
+    FAMILY_CODE,
+    Severity.ERROR,
+    "uninterruptible time.sleep in concurrent code",
+    "A thread parked in time.sleep cannot be woken: cancellation and "
+    "shutdown stall until the full delay elapses.  Waits must go "
+    "through an event-like primitive (CancellationToken.wait, "
+    "threading.Event.wait) that a signal can interrupt.",
+)
+def check_bare_sleep(module: CodeModule) -> Iterator[Diagnostic]:
+    imported = _time_sleep_imports(module.tree)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            bare = attribute_chain(func) == ("time", "sleep")
+        else:
+            bare = isinstance(func, ast.Name) and func.id in imported
+        if not bare:
+            continue
+        where = _enclosing_function(module.tree, node)
+        context = f" in {where}()" if where else ""
+        yield _diagnostic(
+            module,
+            "COD006",
+            Severity.ERROR,
+            node,
+            f"bare time.sleep{context} cannot be interrupted by "
+            f"cancellation or shutdown",
+            fix_hint="wait on a cancellable primitive instead: "
+            "CancellationToken.wait(timeout) or threading.Event.wait "
+            "(returning early when set)",
+            function=where or "",
+        )

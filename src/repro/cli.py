@@ -197,6 +197,23 @@ def _service_workload(name: str, seed: int):
     )
 
 
+def _chaos_setup(args: argparse.Namespace):
+    """(backend, resilience) for the serve/bench-serve chaos flags."""
+    backend = None
+    resilience = None
+    if getattr(args, "chaos", None):
+        from repro.resilience import ResilienceManager
+        from repro.resilience.chaos import ChaosBackend, bundled_profile
+
+        backend = ChaosBackend(
+            bundled_profile(args.chaos), seed=getattr(args, "chaos_seed", 0)
+        )
+        resilience = ResilienceManager(
+            breakers=not getattr(args, "no_breakers", False)
+        )
+    return backend, resilience
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
@@ -212,7 +229,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_policy=RequestPolicy(deadline_s=args.deadline),
         trace_requests=args.trace,
     )
-    service = QueryService(catalog, facts, measures=measures, config=config)
+    backend, resilience = _chaos_setup(args)
+    service = QueryService(
+        catalog,
+        facts,
+        measures=measures,
+        config=config,
+        backend=backend,
+        resilience=resilience,
+    )
     server, _thread = start_server(service, host=args.host, port=args.port)
     stop = threading.Event()
     try:
@@ -222,9 +247,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         signal.signal(signal.SIGTERM, lambda *_: stop.set())
     except ValueError:
         pass  # not on the main thread (e.g. under a test harness)
+    chaos_note = f"; chaos: {args.chaos}" if args.chaos else ""
     print(
         f"serving {args.workload} on {server.server_address[0]}:{server.port} "
-        f"(measures: {', '.join(sorted(measures))}; Ctrl-C to stop)",
+        f"(measures: {', '.join(sorted(measures))}{chaos_note}; "
+        "Ctrl-C to stop)",
         flush=True,
     )
     try:
@@ -253,11 +280,14 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         from repro.service.frontend import start_server
         from repro.service.server import QueryService, ServiceConfig
 
+        backend, resilience = _chaos_setup(args)
         service = QueryService(
             catalog,
             facts,
             measures=measures,
             config=ServiceConfig(max_concurrent=args.max_concurrent),
+            backend=backend,
+            resilience=resilience,
         )
         server, _thread = start_server(service)
         host, port = "127.0.0.1", server.port
@@ -281,6 +311,13 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         f"over {len(mix)} queries ({args.workload}):"
     )
     print(report.format_table())
+    if args.degradation_out:
+        import json
+
+        with open(args.degradation_out, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"degradation summary written to {args.degradation_out}")
     return 0 if report.errors == 0 else 1
 
 
@@ -430,6 +467,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                        help="default per-request deadline in seconds")
     serve.add_argument("--trace", action="store_true",
                        help="attach per-request span trees to summaries")
+    serve.add_argument("--chaos", metavar="PROFILE", default=None,
+                       help="inject a bundled chaos profile (smoke, slow, "
+                            "truncating) and enable the resilience layer")
+    serve.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed for deterministic chaos failure draws")
+    serve.add_argument("--no-breakers", action="store_true",
+                       help="with --chaos: keep health tracking and graceful "
+                            "degradation but never skip plans behind breakers")
 
     bench = sub.add_parser("bench-serve",
                            help="load-generate against the query service")
@@ -450,6 +495,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                        help="per-request deadline in seconds")
     bench.add_argument("--first-k", type=int, default=None,
                        help="stop each request after k answers")
+    bench.add_argument("--chaos", metavar="PROFILE", default=None,
+                       help="in-process mode: serve under a bundled chaos "
+                            "profile with the resilience layer enabled")
+    bench.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed for deterministic chaos failure draws")
+    bench.add_argument("--no-breakers", action="store_true",
+                       help="with --chaos: disable breaker skipping")
+    bench.add_argument("--degradation-out", metavar="PATH", default=None,
+                       help="write the load report (including the "
+                            "degradation summary) to PATH as JSON")
 
     lint = sub.add_parser("lint", help="static analysis (code + scenarios)")
     lint.add_argument("paths", nargs="*", default=["src/repro"],

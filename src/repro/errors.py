@@ -56,6 +56,32 @@ class TransientExecutionError(ExecutionError):
     """
 
 
+class SourceFailureError(TransientExecutionError):
+    """A transient failure attributed to one specific source.
+
+    Carrying the source name lets the resilience layer feed the right
+    :class:`~repro.resilience.health.SourceHealthTracker` entry and
+    circuit breaker instead of blaming the whole plan.
+    """
+
+    def __init__(self, source: str, message: str) -> None:
+        super().__init__(message)
+        self.source = source
+
+
+class PermanentSourceError(ExecutionError):
+    """A source is down for good (chaos outage, decommissioned feed).
+
+    Deliberately *not* transient: retrying a dead source burns the
+    retry budget for nothing, so the retry policy lets this error
+    through immediately and the circuit breaker opens instead.
+    """
+
+    def __init__(self, source: str, message: str) -> None:
+        super().__init__(message)
+        self.source = source
+
+
 class InternalError(ReproError):
     """An internal invariant the library relies on was violated.
 

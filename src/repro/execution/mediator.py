@@ -32,13 +32,14 @@ from repro.errors import ExecutionError
 from repro.datalog.query import ConjunctiveQuery
 from repro.execution.engine import evaluate_conjunctive_query
 from repro.observability.metrics import MetricRegistry
-from repro.observability.tracing import NOOP_TRACER, Tracer
+from repro.observability.tracing import NOOP_TRACER, Stopwatch, Tracer
 from repro.ordering.base import PlanOrderer
 from repro.ordering.bruteforce import PIOrderer
 from repro.reformulation.buckets import build_buckets
 from repro.reformulation.inverse_rules import answer_with_inverse_rules
 from repro.reformulation.plans import PlanSpace, QueryPlan
 from repro.reformulation.soundness import plan_query
+from repro.resilience.manager import ResilienceManager
 from repro.sources.catalog import Catalog
 from repro.utility.base import UtilityMeasure
 
@@ -48,7 +49,14 @@ OrdererFactory = Callable[[UtilityMeasure], PlanOrderer]
 
 @dataclass(frozen=True)
 class AnswerBatch:
-    """The outcome of processing one plan from the ordering."""
+    """The outcome of processing one plan from the ordering.
+
+    The trailing defaulted flags are degradation accounting (see
+    :mod:`repro.resilience`): a *skipped* plan was never executed
+    because a circuit breaker blocked one of its sources; a *failed*
+    plan exhausted its retries and was gracefully dropped.  Both carry
+    empty answer sets.
+    """
 
     rank: int
     plan: QueryPlan
@@ -56,6 +64,8 @@ class AnswerBatch:
     sound: bool
     answers: frozenset[tuple[object, ...]]
     new_answers: frozenset[tuple[object, ...]]
+    skipped: bool = False
+    failed: bool = False
 
     @property
     def new_count(self) -> int:
@@ -73,6 +83,7 @@ class Mediator:
         *,
         registry: Optional[MetricRegistry] = None,
         tracer: Optional[Tracer] = None,
+        resilience: Optional[ResilienceManager] = None,
     ) -> None:
         self.catalog = catalog
         self.source_facts = {
@@ -81,11 +92,17 @@ class Mediator:
         self.orderer_factory = orderer_factory or PIOrderer
         self.registry = registry if registry is not None else MetricRegistry()
         self.tracer = tracer if tracer is not None else NOOP_TRACER
+        #: When set, ``answer`` (and any PipelinedSession built on this
+        #: mediator) consults breakers before executing a plan and feeds
+        #: execution outcomes back into the health tracker.
+        self.resilience = resilience
         self._plans_processed = self.registry.counter("mediator.plans_processed")
         self._sound_plans = self.registry.counter("mediator.sound_plans")
         self._unsound_plans = self.registry.counter("mediator.unsound_plans")
         self._answers_emitted = self.registry.counter("mediator.answers_emitted")
         self._new_answers = self.registry.counter("mediator.new_answers")
+        self._plans_skipped = self.registry.counter("mediator.plans_skipped")
+        self._plans_failed = self.registry.counter("mediator.plans_failed")
 
     def execution_database(self) -> Mapping[str, set[tuple[object, ...]]]:
         """A read-only view of the source instances for plan execution.
@@ -130,6 +147,12 @@ class Mediator:
     def record_batch(self, batch: AnswerBatch) -> None:
         """Fold one processed plan into the ``mediator.*`` counters."""
         self._plans_processed.inc()
+        if batch.skipped:
+            self._plans_skipped.inc()
+            return
+        if batch.failed:
+            self._plans_failed.inc()
+            return
         if batch.sound:
             self._sound_plans.inc()
             self._answers_emitted.inc(len(batch.answers))
@@ -177,6 +200,7 @@ class Mediator:
                 ) from None
 
         seen: set[tuple[object, ...]] = set()
+        resilience = self.resilience
         try:
             for ordered in orderer.order(space, budget, on_emit=on_emit):
                 executable = self.check_soundness(query, ordered.plan)
@@ -194,7 +218,48 @@ class Mediator:
                     self.record_batch(batch)
                     yield batch
                     continue
-                answers = self.execute_query(executable)
+                if resilience is not None and resilience.admit(ordered.plan):
+                    # A breaker blocks one of the plan's sources: skip
+                    # without executing so the retry budget survives
+                    # for plans with a chance of answering.
+                    batch = AnswerBatch(
+                        ordered.rank,
+                        ordered.plan,
+                        ordered.utility,
+                        True,
+                        frozenset(),
+                        frozenset(),
+                        skipped=True,
+                    )
+                    self.record_batch(batch)
+                    yield batch
+                    continue
+                sources = (
+                    ResilienceManager.sources_of(ordered.plan)
+                    if resilience is not None
+                    else ()
+                )
+                try:
+                    with Stopwatch() as exec_watch:
+                        answers = self.execute_query(executable)
+                except ExecutionError as exc:
+                    if resilience is None or not resilience.graceful:
+                        raise
+                    resilience.record_failure(sources, exc)
+                    batch = AnswerBatch(
+                        ordered.rank,
+                        ordered.plan,
+                        ordered.utility,
+                        True,
+                        frozenset(),
+                        frozenset(),
+                        failed=True,
+                    )
+                    self.record_batch(batch)
+                    yield batch
+                    continue
+                if resilience is not None:
+                    resilience.record_success(sources, exec_watch.elapsed)
                 new = frozenset(answers - seen)
                 seen.update(answers)
                 batch = AnswerBatch(

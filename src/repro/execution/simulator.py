@@ -28,6 +28,7 @@ from typing import Iterable, Optional, Sequence
 
 from repro.errors import ExecutionError
 from repro.reformulation.plans import QueryPlan
+from repro.resilience.health import SourceHealthTracker
 from repro.utility.base import PlanLike
 from repro.utility.cost import SourceOp
 
@@ -80,6 +81,7 @@ class ExecutionSimulator:
         caching: bool = False,
         max_attempts: int = 50,
         seed: int = 0,
+        health: Optional[SourceHealthTracker] = None,
     ) -> None:
         if access_overhead < 0:
             raise ExecutionError("access overhead must be non-negative")
@@ -89,6 +91,11 @@ class ExecutionSimulator:
         self._domain_sizes = domain_sizes
         self.caching = caching
         self.max_attempts = max_attempts
+        #: Optional observer: every simulated source access feeds the
+        #: tracker with its outcome and virtual latency, so simulations
+        #: can demonstrate the observed rates converging on the catalog
+        #: priors that generated them.
+        self.health = health
         self._rng = random.Random(seed)
         self._clock = 0.0
         self._cache: set[SourceOp] = set()
@@ -161,8 +168,15 @@ class ExecutionSimulator:
             if self._rng.random() < stats.failure_prob:
                 # The failed access still pays its overhead.
                 cost += self.access_overhead
+                if self.health is not None:
+                    self.health.record_failure(
+                        source.name, self.access_overhead
+                    )
                 return cost, flow, slot, cache_hits
-            cost += self.access_overhead + stats.transfer_cost * flow
+            access_cost = self.access_overhead + stats.transfer_cost * flow
+            cost += access_cost
+            if self.health is not None:
+                self.health.record_success(source.name, access_cost)
             if self.caching:
                 self._cache.add(op)
         return cost, flow, None, cache_hits

@@ -1,0 +1,67 @@
+"""Resilience: source health, circuit breakers, chaos, degradation.
+
+A production mediator must keep answering — with honestly reported
+partial coverage — while real sources degrade.  This package provides
+the pieces, threaded through the execution and service layers:
+
+* :mod:`repro.resilience.health` — per-source EWMA failure rates and
+  latencies, fed by every backend execution;
+* :mod:`repro.resilience.breaker` — per-source circuit breakers with
+  probe budgets, consulted before plans execute;
+* :mod:`repro.resilience.measure` — :class:`HealthAwareMeasure`,
+  substituting observed failure rates for catalog priors so ordering
+  adapts to live source health;
+* :mod:`repro.resilience.chaos` — composable per-source fault
+  profiles (transient errors, latency, outages, truncation) for
+  testing the above under fire;
+* :mod:`repro.resilience.manager` — the facade the mediator and
+  sessions talk to.
+
+The chaos names are loaded lazily (PEP 562): :mod:`~.chaos` builds on
+the service backend interface, while the mediator imports the manager
+from here — eager chaos imports would close that loop into a cycle.
+
+See ``docs/resilience.md`` for the full model.
+"""
+
+from repro.resilience.breaker import BreakerBoard, BreakerState, CircuitBreaker
+from repro.resilience.health import SourceHealth, SourceHealthTracker
+from repro.resilience.manager import ResilienceManager
+from repro.resilience.measure import HealthAwareMeasure
+
+__all__ = [
+    "BreakerBoard",
+    "BreakerState",
+    "CircuitBreaker",
+    "BUNDLED_PROFILES",
+    "ChaosBackend",
+    "ChaosProfile",
+    "FaultProfile",
+    "bundled_profile",
+    "SourceHealth",
+    "SourceHealthTracker",
+    "ResilienceManager",
+    "HealthAwareMeasure",
+]
+
+_CHAOS_NAMES = frozenset(
+    {
+        "BUNDLED_PROFILES",
+        "ChaosBackend",
+        "ChaosProfile",
+        "FaultProfile",
+        "bundled_profile",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _CHAOS_NAMES:
+        from repro.resilience import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | _CHAOS_NAMES)

@@ -1,0 +1,297 @@
+"""Composable fault injection for execution backends.
+
+Where :class:`~repro.service.backends.FlakyBackend` can only fail a
+whole plan execution with one probability, chaos profiles describe
+faults **per source**, in four composable dimensions:
+
+* ``transient_prob`` — each attempt touching the source fails with
+  this probability (a :class:`~repro.errors.SourceFailureError`, which
+  the retry policy treats as retryable);
+* ``latency_s`` — added wall-clock delay per attempt (a slow source,
+  not a dead one);
+* ``permanent_outage`` — every attempt fails with a
+  :class:`~repro.errors.PermanentSourceError`, which is *not*
+  retryable: the breaker opens instead of the retry budget burning;
+* ``truncate_to`` — the source answers but incompletely, capping the
+  plan's answer set (the ``answers_partial`` degradation flag).
+
+Failure draws reuse :func:`~repro.service.backends.deterministic_draw`
+keyed on ``(seed, source, plan signature, attempt)``, so a chaos run
+is a pure function of its configuration — replayable under any thread
+schedule.  Latency injection waits on an interruptible event rather
+than ``time.sleep`` so shutdown never blocks on a fault profile.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, fields, replace
+from typing import Mapping, Optional
+
+from repro.errors import PermanentSourceError, ServiceError, SourceFailureError
+from repro.datalog.query import ConjunctiveQuery
+from repro.service.backends import (
+    Database,
+    ExecutionBackend,
+    InMemoryBackend,
+    deterministic_draw,
+)
+
+__all__ = [
+    "FaultProfile",
+    "ChaosProfile",
+    "ChaosBackend",
+    "bundled_profile",
+    "BUNDLED_PROFILES",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultProfile:
+    """The faults injected for one source (all dimensions optional)."""
+
+    transient_prob: float = 0.0
+    latency_s: float = 0.0
+    permanent_outage: bool = False
+    truncate_to: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.transient_prob <= 1.0:
+            raise ServiceError(
+                f"transient_prob must be in [0, 1]: {self.transient_prob}"
+            )
+        if self.latency_s < 0:
+            raise ServiceError(f"latency_s must be >= 0: {self.latency_s}")
+        if self.truncate_to is not None and self.truncate_to < 0:
+            raise ServiceError(f"truncate_to must be >= 0: {self.truncate_to}")
+
+    @property
+    def is_noop(self) -> bool:
+        return (
+            self.transient_prob == 0.0
+            and self.latency_s == 0.0
+            and not self.permanent_outage
+            and self.truncate_to is None
+        )
+
+    def compose(self, other: "FaultProfile") -> "FaultProfile":
+        """Stack *other* on top of this profile (worst of each axis)."""
+        truncations = [
+            t for t in (self.truncate_to, other.truncate_to) if t is not None
+        ]
+        return FaultProfile(
+            transient_prob=max(self.transient_prob, other.transient_prob),
+            latency_s=self.latency_s + other.latency_s,
+            permanent_outage=self.permanent_outage or other.permanent_outage,
+            truncate_to=min(truncations) if truncations else None,
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """A named assignment of fault profiles to source names.
+
+    ``default`` applies to sources not listed in ``faults`` (usually
+    the no-fault profile, so chaos is opt-in per source).
+    """
+
+    name: str
+    faults: Mapping[str, FaultProfile]
+    default: FaultProfile = FaultProfile()
+
+    def profile_for(self, source: str) -> FaultProfile:
+        return self.faults.get(source, self.default)
+
+    @property
+    def faulted_sources(self) -> tuple[str, ...]:
+        return tuple(sorted(self.faults))
+
+    def compose(self, other: "ChaosProfile") -> "ChaosProfile":
+        """Stack two profiles source-wise."""
+        merged = {
+            source: self.profile_for(source).compose(other.profile_for(source))
+            for source in {*self.faults, *other.faults}
+        }
+        return ChaosProfile(
+            name=f"{self.name}+{other.name}",
+            faults=merged,
+            default=self.default.compose(other.default),
+        )
+
+    def with_scaled_latency(self, factor: float) -> "ChaosProfile":
+        """The same profile with every latency multiplied by *factor*.
+
+        Smoke jobs use this to keep injected delays test-sized without
+        redefining the rest of a bundled profile.
+        """
+        return ChaosProfile(
+            name=self.name,
+            faults={
+                source: replace(fault, latency_s=fault.latency_s * factor)
+                for source, fault in self.faults.items()
+            },
+            default=replace(
+                self.default, latency_s=self.default.latency_s * factor
+            ),
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "default": self.default.as_dict(),
+            "faults": {
+                source: fault.as_dict()
+                for source, fault in sorted(self.faults.items())
+            },
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, object]) -> "ChaosProfile":
+        try:
+            faults = {
+                str(source): FaultProfile(**fault)
+                for source, fault in dict(payload.get("faults") or {}).items()
+            }
+            default = FaultProfile(**dict(payload.get("default") or {}))
+            return ChaosProfile(
+                name=str(payload.get("name", "custom")),
+                faults=faults,
+                default=default,
+            )
+        except TypeError as exc:
+            raise ServiceError(f"malformed chaos profile: {exc}") from exc
+
+
+#: Profiles shippable by name through the CLI and CI smoke jobs.  The
+#: ``smoke`` profile targets the movie workload: one review source is
+#: permanently dead and one source per bucket flakes at 35%, which
+#: forces breaker opens and fallback plans while v1/v6 keep a path to
+#: answers alive.
+BUNDLED_PROFILES: dict[str, ChaosProfile] = {
+    "smoke": ChaosProfile(
+        name="smoke",
+        faults={
+            "v3": FaultProfile(transient_prob=0.35),
+            "v4": FaultProfile(permanent_outage=True),
+            "v5": FaultProfile(transient_prob=0.35, latency_s=0.002),
+        },
+    ),
+    "slow": ChaosProfile(
+        name="slow",
+        faults={},
+        default=FaultProfile(latency_s=0.01),
+    ),
+    "truncating": ChaosProfile(
+        name="truncating",
+        faults={},
+        default=FaultProfile(truncate_to=1),
+    ),
+}
+
+
+def bundled_profile(name: str) -> ChaosProfile:
+    try:
+        return BUNDLED_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(BUNDLED_PROFILES))
+        raise ServiceError(
+            f"unknown chaos profile {name!r} (bundled: {known})"
+        ) from None
+
+
+class ChaosBackend(ExecutionBackend):
+    """Backend wrapper injecting a :class:`ChaosProfile`'s faults.
+
+    The body atoms of an executable plan query are source relations,
+    so each atom's predicate names the source it touches — that is the
+    attribution key for per-source faults, and the ``source`` carried
+    by the raised errors, which is what lets health tracking and
+    breakers blame the right source rather than the whole plan.
+    """
+
+    def __init__(
+        self,
+        profile: ChaosProfile,
+        inner: Optional[ExecutionBackend] = None,
+        *,
+        seed: int = 0,
+    ) -> None:
+        self.profile = profile
+        self.inner = inner if inner is not None else InMemoryBackend()
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._attempts: dict[str, int] = {}
+        self.failures_injected = 0
+        self.outages_hit = 0
+        self.truncations = 0
+        # Latency injection waits on this event instead of sleeping, so
+        # a shutdown (or test teardown) can interrupt in-flight delays.
+        self._interrupt = threading.Event()
+
+    def interrupt(self) -> None:
+        """Cancel all current and future injected latency waits."""
+        self._interrupt.set()
+
+    @staticmethod
+    def _sources_of(executable: ConjunctiveQuery) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(atom.predicate for atom in executable.body))
+
+    def execute(
+        self, executable: ConjunctiveQuery, database: Database
+    ) -> frozenset[tuple[object, ...]]:
+        signature = str(executable)
+        with self._lock:
+            attempt = self._attempts.get(signature, 0) + 1
+            self._attempts[signature] = attempt
+        truncate_to: Optional[int] = None
+        for source in self._sources_of(executable):
+            fault = self.profile.profile_for(source)
+            if fault.is_noop:
+                continue
+            if fault.latency_s > 0.0:
+                self._interrupt.wait(fault.latency_s)
+            if fault.permanent_outage:
+                with self._lock:
+                    self.outages_hit += 1
+                raise PermanentSourceError(
+                    source, f"chaos[{self.profile.name}]: {source} is down"
+                )
+            if fault.transient_prob > 0.0:
+                draw = deterministic_draw(
+                    self.seed, f"{source}:{signature}", attempt
+                )
+                if draw < fault.transient_prob:
+                    with self._lock:
+                        self.failures_injected += 1
+                    raise SourceFailureError(
+                        source,
+                        f"chaos[{self.profile.name}]: transient failure of "
+                        f"{source} (attempt {attempt})",
+                    )
+            if fault.truncate_to is not None:
+                cap = fault.truncate_to
+                truncate_to = cap if truncate_to is None else min(truncate_to, cap)
+        answers = self.inner.execute(executable, database)
+        if truncate_to is not None and len(answers) > truncate_to:
+            with self._lock:
+                self.truncations += 1
+            # Deterministic truncation: keep the smallest rows in sort
+            # order so repeated runs lose the same tuples.
+            kept = sorted(answers, key=repr)[:truncate_to]
+            return frozenset(kept)
+        return answers
+
+    def attempts_for(self, executable: ConjunctiveQuery) -> int:
+        with self._lock:
+            return self._attempts.get(str(executable), 0)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            injected = self.failures_injected + self.outages_hit
+        return (
+            f"<ChaosBackend profile={self.profile.name!r} seed={self.seed} "
+            f"failures={injected}>"
+        )

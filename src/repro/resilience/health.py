@@ -1,0 +1,187 @@
+"""Per-source health: EWMA failure rates and latencies.
+
+The paper's fourth utility measure ranks plans by the probability that
+every source access succeeds (Figure 6's "failure" measure), but the
+catalog's ``failure_prob`` values are static priors.  A serving
+mediator sees the truth on every execution; this module accumulates it.
+
+:class:`SourceHealthTracker` keeps, per source name, exponentially
+weighted moving averages of
+
+* the **failure rate** — each observation contributes 1.0 (failure)
+  or 0.0 (success), so the EWMA is a recency-biased failure
+  probability directly substitutable for the catalog prior; and
+* the **latency** of successful accesses in seconds.
+
+All updates are thread-safe (executor workers of many concurrent
+sessions feed one tracker) and mirrored into a
+:class:`~repro.observability.metrics.MetricRegistry` under
+``resilience.health.<source>.*`` so a registry snapshot shows live
+source health next to the service counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ServiceError
+from repro.observability.metrics import MetricRegistry
+
+__all__ = ["SourceHealth", "SourceHealthTracker"]
+
+
+@dataclass(frozen=True)
+class SourceHealth:
+    """An immutable snapshot of one source's observed health."""
+
+    source: str
+    successes: int
+    failures: int
+    failure_ewma: float
+    latency_ewma_s: float
+
+    @property
+    def observations(self) -> int:
+        return self.successes + self.failures
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "source": self.source,
+            "successes": self.successes,
+            "failures": self.failures,
+            "observations": self.observations,
+            "failure_ewma": self.failure_ewma,
+            "latency_ewma_s": self.latency_ewma_s,
+        }
+
+
+class _Cell:
+    """Mutable per-source accumulator (guarded by the tracker lock)."""
+
+    __slots__ = ("successes", "failures", "failure_ewma", "latency_ewma_s")
+
+    def __init__(self) -> None:
+        self.successes = 0
+        self.failures = 0
+        self.failure_ewma = 0.0
+        self.latency_ewma_s = 0.0
+
+
+class SourceHealthTracker:
+    """Thread-safe EWMA failure/latency tracking per source name.
+
+    ``alpha`` is the usual EWMA smoothing factor: the weight of the
+    newest observation.  The first observation initializes the average
+    (no bias toward an arbitrary starting value).
+    """
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.2,
+        registry: Optional[MetricRegistry] = None,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ServiceError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._lock = threading.Lock()
+        self._cells: dict[str, _Cell] = {}
+
+    # -- recording ---------------------------------------------------------------
+
+    def record_success(self, source: str, latency_s: float = 0.0) -> None:
+        """One successful access of *source* taking *latency_s*."""
+        self._record(source, failed=False, latency_s=latency_s)
+
+    def record_failure(self, source: str, latency_s: float = 0.0) -> None:
+        """One failed access of *source* (latency up to the failure)."""
+        self._record(source, failed=True, latency_s=latency_s)
+
+    def _record(self, source: str, *, failed: bool, latency_s: float) -> None:
+        outcome = 1.0 if failed else 0.0
+        with self._lock:
+            cell = self._cells.get(source)
+            if cell is None:
+                cell = self._cells[source] = _Cell()
+                cell.failure_ewma = outcome
+                cell.latency_ewma_s = latency_s
+            else:
+                cell.failure_ewma += self.alpha * (outcome - cell.failure_ewma)
+                cell.latency_ewma_s += self.alpha * (
+                    latency_s - cell.latency_ewma_s
+                )
+            if failed:
+                cell.failures += 1
+            else:
+                cell.successes += 1
+            failure_ewma = cell.failure_ewma
+            latency_ewma = cell.latency_ewma_s
+            total = cell.successes + cell.failures
+        prefix = f"resilience.health.{source}"
+        self.registry.gauge(f"{prefix}.failure_rate").set(failure_ewma)
+        self.registry.gauge(f"{prefix}.latency_s").set(latency_ewma)
+        self.registry.gauge(f"{prefix}.observations").set(total)
+
+    # -- queries -----------------------------------------------------------------
+
+    def observations(self, source: str) -> int:
+        with self._lock:
+            cell = self._cells.get(source)
+            return 0 if cell is None else cell.successes + cell.failures
+
+    def failure_rate(
+        self, source: str, *, min_observations: int = 1
+    ) -> Optional[float]:
+        """The observed EWMA failure rate, or None below the sample floor.
+
+        ``None`` tells callers (the health-aware measure, dashboards)
+        to keep using the catalog prior — substituting a rate learned
+        from one lucky or unlucky access would be noise, not signal.
+        """
+        with self._lock:
+            cell = self._cells.get(source)
+            if cell is None or cell.successes + cell.failures < min_observations:
+                return None
+            return cell.failure_ewma
+
+    def latency(self, source: str) -> Optional[float]:
+        """The observed EWMA access latency in seconds, if any."""
+        with self._lock:
+            cell = self._cells.get(source)
+            return None if cell is None else cell.latency_ewma_s
+
+    def health(self, source: str) -> Optional[SourceHealth]:
+        with self._lock:
+            cell = self._cells.get(source)
+            if cell is None:
+                return None
+            return SourceHealth(
+                source,
+                cell.successes,
+                cell.failures,
+                cell.failure_ewma,
+                cell.latency_ewma_s,
+            )
+
+    def snapshot(self) -> dict[str, SourceHealth]:
+        """All tracked sources, as immutable records."""
+        with self._lock:
+            names = tuple(self._cells)
+        result = {}
+        for name in names:
+            record = self.health(name)
+            if record is not None:
+                result[name] = record
+        return result
+
+    def reset(self) -> None:
+        with self._lock:
+            self._cells.clear()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            tracked = len(self._cells)
+        return f"<SourceHealthTracker alpha={self.alpha} sources={tracked}>"

@@ -1,0 +1,136 @@
+"""The resilience facade wired into the mediator and the service.
+
+:class:`ResilienceManager` bundles one
+:class:`~repro.resilience.health.SourceHealthTracker` and one
+:class:`~repro.resilience.breaker.BreakerBoard` behind the small
+surface the execution layers actually need:
+
+* :meth:`admit` — before executing a plan, ask whether any of its
+  sources sits behind a non-admitting breaker; a blocked plan is
+  *skipped* (degradation accounting), not retried;
+* :meth:`record_success` / :meth:`record_failure` — after each
+  execution attempt, feed the outcome to both the health tracker and
+  the breakers.  Failures carrying a ``source`` attribute (the chaos
+  errors) are attributed to that source alone; anonymous failures are
+  conservatively charged to every source the plan touches;
+* :meth:`health_measure` — wrap a utility measure so ordering tracks
+  observed failure rates (see
+  :class:`~repro.resilience.measure.HealthAwareMeasure`).
+
+``graceful`` controls what a consumer does with a plan that failed all
+its retries: gracefully degrade (emit a failed batch, keep going) or
+abort the request as before.  ``health_aware`` controls whether the
+service substitutes observed rates into its measures.  Both default on;
+tests and benchmarks toggle them to isolate effects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import PermanentSourceError
+from repro.observability.metrics import MetricRegistry
+from repro.resilience.breaker import BreakerBoard
+from repro.resilience.health import SourceHealthTracker
+from repro.resilience.measure import HealthAwareMeasure
+from repro.utility.base import PlanLike, UtilityMeasure
+
+__all__ = ["ResilienceManager"]
+
+
+class ResilienceManager:
+    """Health tracker + breaker board, with plan-level attribution."""
+
+    def __init__(
+        self,
+        *,
+        tracker: Optional[SourceHealthTracker] = None,
+        board: Optional[BreakerBoard] = None,
+        registry: Optional[MetricRegistry] = None,
+        health_aware: bool = True,
+        graceful: bool = True,
+        breakers: bool = True,
+        min_observations: int = 3,
+    ) -> None:
+        registry = registry if registry is not None else MetricRegistry()
+        self.registry = registry
+        self.tracker = (
+            tracker
+            if tracker is not None
+            else SourceHealthTracker(registry=registry)
+        )
+        self.board = board if board is not None else BreakerBoard(registry=registry)
+        self.health_aware = health_aware
+        self.graceful = graceful
+        #: With breakers off, plans always execute (health tracking and
+        #: graceful degradation still apply) — the control arm of the
+        #: breakers-on/off comparison in ``benchmarks/bench_resilience.py``.
+        self.breakers = breakers
+        self.min_observations = min_observations
+
+    # -- plan helpers ------------------------------------------------------------
+
+    @staticmethod
+    def sources_of(plan: PlanLike) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(source.name for source in plan.sources))
+
+    def admit(self, plan: PlanLike) -> tuple[str, ...]:
+        """Blocking source names for *plan*; empty means admitted."""
+        if not self.breakers:
+            return ()
+        return self.board.admit(self.sources_of(plan))
+
+    # -- outcome recording -------------------------------------------------------
+
+    def record_success(
+        self, sources: Iterable[str], latency_s: float = 0.0
+    ) -> None:
+        """One successful plan execution touching *sources*."""
+        for source in sources:
+            self.tracker.record_success(source, latency_s)
+            self.board.record_success(source)
+
+    def record_failure(
+        self,
+        sources: Iterable[str],
+        error: Optional[BaseException] = None,
+        latency_s: float = 0.0,
+    ) -> None:
+        """One failed execution attempt of a plan touching *sources*.
+
+        Errors that name a source (``error.source``) charge only that
+        source; the plan's other sources were bystanders and should
+        neither accrue failures nor trip breakers.
+        """
+        blamed = getattr(error, "source", None)
+        permanent = isinstance(error, PermanentSourceError)
+        targets = (blamed,) if blamed is not None else tuple(sources)
+        for source in targets:
+            self.tracker.record_failure(source, latency_s)
+            self.board.record_failure(source, permanent=permanent)
+
+    # -- views -------------------------------------------------------------------
+
+    def breaker_states(self) -> dict[str, str]:
+        return self.board.states()
+
+    def health_measure(
+        self, inner: UtilityMeasure, *, frozen: bool = False
+    ) -> UtilityMeasure:
+        """Wrap *inner* for adaptive re-ranking (identity when disabled).
+
+        ``frozen=True`` pins the tracker's current rates so one request
+        ranks against a consistent snapshot.
+        """
+        if not self.health_aware:
+            return inner
+        measure = HealthAwareMeasure(
+            inner, self.tracker, min_observations=self.min_observations
+        )
+        return measure.frozen() if frozen else measure
+
+    def __repr__(self) -> str:
+        return (
+            f"<ResilienceManager health_aware={self.health_aware} "
+            f"graceful={self.graceful} breakers={self.breaker_states()}>"
+        )

@@ -1,0 +1,206 @@
+"""Adaptive re-ranking: substitute observed failure rates into a measure.
+
+The paper's failure-aware cost measure divides a plan's cost by
+``prod_i (1 - f_i)``, the probability that every source access
+succeeds — but ``f_i`` comes from static catalog priors.
+:class:`HealthAwareMeasure` wraps any
+:class:`~repro.utility.base.UtilityMeasure` and, at evaluation time,
+replaces each source's ``stats.failure_prob`` with the EWMA failure
+rate observed by a :class:`~repro.resilience.health.SourceHealthTracker`
+(clamped below 1.0, since ``SourceStats`` requires ``f < 1``).  Greedy,
+iDrips and Streamer then rank plans by *live* source health with no
+changes of their own.
+
+Two properties keep this safe to deploy:
+
+* **Exact pass-through.**  When no source has a substituted rate —
+  tracker empty, below the observation floor, or no tracker at all —
+  every call delegates directly to the inner measure on the *original*
+  objects, so utilities (and therefore batch streams) are bit-identical
+  to the unwrapped measure.
+* **Deterministic replay.**  ``overrides`` pins specific sources to
+  fixed rates regardless of the tracker, and :meth:`frozen` captures
+  the tracker's current rates as overrides, so tests and replays see a
+  stable ranking even while the live tracker keeps moving.
+
+Do **not** wrap a ``HealthAwareMeasure`` in a
+:class:`~repro.observability.caching.CachingUtilityMeasure`: the cache
+keys utilities by source-name signatures, which do not change when the
+substituted rates do, so cached entries would go stale the moment
+health drifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import ServiceError
+from repro.resilience.health import SourceHealthTracker
+from repro.sources.catalog import SourceDescription
+from repro.utility.base import ExecutionContext, PlanLike, Slots, UtilityMeasure
+from repro.utility.intervals import Interval
+
+__all__ = ["HealthAwareMeasure"]
+
+#: ``SourceStats`` requires failure_prob < 1; a fully dead source is
+#: represented as "almost surely fails" so failure-aware costs stay finite.
+MAX_FAILURE_PROB = 0.999
+
+
+class _SubstitutedPlan:
+    """A plan view with health-substituted source descriptions."""
+
+    __slots__ = ("sources",)
+
+    def __init__(self, sources: tuple[SourceDescription, ...]) -> None:
+        self.sources = sources
+
+
+class HealthAwareMeasure(UtilityMeasure):
+    """Wrap *inner*, substituting observed failure rates into its inputs.
+
+    Parameters
+    ----------
+    inner:
+        Any utility measure.  Structural flags (monotonicity,
+        diminishing returns, context-freeness) are mirrored from it.
+    tracker:
+        Source of observed EWMA failure rates; optional when
+        ``overrides`` provides them.
+    overrides:
+        ``{source_name: failure_rate}`` taking precedence over the
+        tracker — the deterministic-replay mode.
+    min_observations:
+        Sample floor below which a tracker rate is ignored and the
+        catalog prior kept.
+    """
+
+    def __init__(
+        self,
+        inner: UtilityMeasure,
+        tracker: Optional[SourceHealthTracker] = None,
+        *,
+        overrides: Optional[Mapping[str, float]] = None,
+        min_observations: int = 3,
+    ) -> None:
+        if tracker is None and overrides is None:
+            raise ServiceError(
+                "HealthAwareMeasure needs a tracker, overrides, or both"
+            )
+        if min_observations < 1:
+            raise ServiceError(
+                f"min_observations must be >= 1, got {min_observations}"
+            )
+        self.inner = inner
+        self.tracker = tracker
+        self.overrides = dict(overrides) if overrides else {}
+        self.min_observations = min_observations
+        self.name = f"{inner.name}+health"
+        # Structural properties are the inner measure's: substitution
+        # only changes each source's failure_prob scalar, which the
+        # flags already account for (e.g. failure-aware BindJoinCost
+        # is not fully monotonic with or without substitution).
+        self.is_fully_monotonic = inner.is_fully_monotonic
+        self.has_diminishing_returns = inner.has_diminishing_returns
+        self.context_free = inner.context_free
+
+    # -- substitution ------------------------------------------------------------
+
+    def observed_rate(self, source: str) -> Optional[float]:
+        """The failure rate to substitute for *source*, if any."""
+        if source in self.overrides:
+            return self.overrides[source]
+        if self.tracker is None:
+            return None
+        return self.tracker.failure_rate(
+            source, min_observations=self.min_observations
+        )
+
+    def substitute(self, source: SourceDescription) -> SourceDescription:
+        """*source* with its failure prior replaced by the observed rate.
+
+        Returns the original object (not a copy) when there is nothing
+        to substitute or the observed rate equals the prior, so callers
+        can detect "no change" with an identity check and preserve
+        bit-identical inner-measure arithmetic.
+        """
+        rate = self.observed_rate(source.name)
+        if rate is None:
+            return source
+        rate = min(max(rate, 0.0), MAX_FAILURE_PROB)
+        if rate == source.stats.failure_prob:
+            return source
+        return SourceDescription(
+            source.name, source.view, replace(source.stats, failure_prob=rate)
+        )
+
+    def _substitute_plan(self, plan: PlanLike) -> PlanLike:
+        substituted = tuple(self.substitute(source) for source in plan.sources)
+        if all(a is b for a, b in zip(substituted, plan.sources)):
+            return plan
+        return _SubstitutedPlan(substituted)
+
+    def _substitute_slots(self, slots: Slots) -> Slots:
+        changed = False
+        rebuilt = []
+        for members in slots:
+            new_members = tuple(self.substitute(source) for source in members)
+            changed = changed or any(
+                a is not b for a, b in zip(new_members, members)
+            )
+            rebuilt.append(new_members)
+        return tuple(rebuilt) if changed else slots
+
+    def frozen(self) -> "HealthAwareMeasure":
+        """A replayable copy: current tracker rates pinned as overrides.
+
+        The copy never consults the tracker again, so one request (or
+        one test) ranks against a consistent health snapshot even while
+        concurrent executions keep updating the live tracker.
+        """
+        overrides = dict(self.overrides)
+        if self.tracker is not None:
+            for name, health in self.tracker.snapshot().items():
+                if (
+                    name not in overrides
+                    and health.observations >= self.min_observations
+                ):
+                    overrides[name] = health.failure_ewma
+        return HealthAwareMeasure(
+            self.inner,
+            None,
+            overrides=overrides,
+            min_observations=self.min_observations,
+        )
+
+    # -- delegation --------------------------------------------------------------
+
+    def new_context(self) -> ExecutionContext:
+        return self.inner.new_context()
+
+    def evaluate(self, plan: PlanLike, context: ExecutionContext) -> float:
+        return self.inner.evaluate(self._substitute_plan(plan), context)
+
+    def evaluate_slots(self, slots: Slots, context: ExecutionContext) -> Interval:
+        return self.inner.evaluate_slots(self._substitute_slots(slots), context)
+
+    def independent(self, first: PlanLike, second: PlanLike) -> bool:
+        # Independence tests in the library compare source *names*,
+        # which substitution preserves, so the original plans are fine.
+        return self.inner.independent(first, second)
+
+    def has_independent_witness(
+        self, slots: Slots, executed: Sequence[PlanLike]
+    ) -> bool:
+        return self.inner.has_independent_witness(slots, executed)
+
+    def all_members_independent(self, slots: Slots, plan: PlanLike) -> bool:
+        return self.inner.all_members_independent(slots, plan)
+
+    def source_preference_key(self, bucket: int, source: SourceDescription) -> float:
+        return self.inner.source_preference_key(bucket, self.substitute(source))
+
+    def __repr__(self) -> str:
+        mode = "overrides" if self.tracker is None else "live"
+        return f"<HealthAwareMeasure {self.name!r} mode={mode}>"

@@ -28,10 +28,27 @@ from repro.errors import TransientExecutionError
 from repro.datalog.query import ConjunctiveQuery
 from repro.execution.engine import evaluate_conjunctive_query
 
-__all__ = ["ExecutionBackend", "InMemoryBackend", "FlakyBackend"]
+__all__ = [
+    "ExecutionBackend",
+    "InMemoryBackend",
+    "FlakyBackend",
+    "deterministic_draw",
+]
 
 #: Read-only database view handed to backends.
 Database = Mapping[str, set[tuple[object, ...]]]
+
+
+def deterministic_draw(seed: int, signature: str, attempt: int) -> float:
+    """A uniform [0, 1) draw that depends only on its arguments.
+
+    Shared by every failure-injecting backend (:class:`FlakyBackend`,
+    :class:`~repro.resilience.chaos.ChaosBackend`) so that whether
+    attempt ``n`` on a given signature fails is a pure function of the
+    configuration — never of thread scheduling — and chaos runs are
+    replayable.
+    """
+    return random.Random(f"{seed}:{signature}:{attempt}").random()
 
 
 class ExecutionBackend(ABC):
@@ -109,8 +126,7 @@ class FlakyBackend(ExecutionBackend):
         if attempt <= self.fail_first:
             fails = True
         elif self.failure_prob > 0.0:
-            draw = random.Random(f"{self.seed}:{signature}:{attempt}").random()
-            fails = draw < self.failure_prob
+            fails = deterministic_draw(self.seed, signature, attempt) < self.failure_prob
         if fails:
             with self._lock:
                 self.failures_injected += 1

@@ -36,6 +36,15 @@ class _Handler(socketserver.StreamRequestHandler):
     disable_nagle_algorithm = True
 
     def handle(self) -> None:
+        try:
+            self._serve_lines()
+        except (OSError, ValueError):
+            # A client that times out, resets, or half-writes a frame
+            # kills its own connection, never the handler thread (and
+            # never the server): the next connection starts clean.
+            pass
+
+    def _serve_lines(self) -> None:
         service = self.server.service
         for line in self.rfile:
             if not line.strip():

@@ -20,7 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.errors import ReformulationError, ServiceError
+from repro.errors import ProtocolError, ReformulationError, ServiceError
 from repro.datalog.terms import Atom, Variable
 from repro.datalog.query import ConjunctiveQuery
 from repro.reformulation.buckets import build_buckets
@@ -85,7 +85,16 @@ class LatencySummary:
 
 @dataclass
 class LoadReport:
-    """Aggregate outcome of one load run."""
+    """Aggregate outcome of one load run.
+
+    The degradation section (``degradation_reported`` onward)
+    aggregates the resilience fields every summary record carries: how
+    many replies reported partial answers, how many plans were skipped
+    behind open breakers or dropped after exhausted retries, which
+    sources were ever skipped, and how many requests still produced
+    answers despite skipping plans (``fallback_successes`` — the
+    graceful-degradation success story).
+    """
 
     sent: int = 0
     completed: int = 0
@@ -96,10 +105,39 @@ class LoadReport:
     duration_s: float = 0.0
     first_answer: LatencySummary = field(default_factory=LatencySummary)
     last_answer: LatencySummary = field(default_factory=LatencySummary)
+    degradation_reported: int = 0
+    answers_partial: int = 0
+    plans_skipped: int = 0
+    plans_failed: int = 0
+    fallback_successes: int = 0
+    sources_skipped: set[str] = field(default_factory=set)
 
     @property
     def throughput_rps(self) -> float:
         return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly form (the CI chaos-smoke artifact)."""
+        return {
+            "sent": self.sent,
+            "completed": self.completed,
+            "errors": self.errors,
+            "rejected": self.rejected,
+            "deadline_exceeded": self.deadline_exceeded,
+            "answers": self.answers,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "first_answer": self.first_answer.as_dict(),
+            "last_answer": self.last_answer.as_dict(),
+            "degradation": {
+                "reported": self.degradation_reported,
+                "answers_partial": self.answers_partial,
+                "plans_skipped": self.plans_skipped,
+                "plans_failed": self.plans_failed,
+                "fallback_successes": self.fallback_successes,
+                "sources_skipped": sorted(self.sources_skipped),
+            },
+        }
 
     def format_table(self) -> str:
         lines = [
@@ -120,6 +158,17 @@ class LoadReport:
                 f"{label + ' latency [s]':<24} "
                 f"p50={summary.p50:.4f} p95={summary.p95:.4f} "
                 f"max={summary.max:.4f} mean={summary.mean:.4f}"
+            )
+        if self.answers_partial or self.plans_skipped or self.plans_failed:
+            skipped = ",".join(sorted(self.sources_skipped)) or "-"
+            lines.extend(
+                [
+                    f"{'partial replies':<24} {self.answers_partial}",
+                    f"{'plans skipped':<24} {self.plans_skipped}",
+                    f"{'plans failed':<24} {self.plans_failed}",
+                    f"{'fallback successes':<24} {self.fallback_successes}",
+                    f"{'sources skipped':<24} {skipped}",
+                ]
             )
         return "\n".join(lines)
 
@@ -221,20 +270,64 @@ class _ClientWorker(threading.Thread):
         self.rejected = 0
         self.deadline_exceeded = 0
         self.answers = 0
+        self.degradation_reported = 0
+        self.answers_partial = 0
+        self.plans_skipped = 0
+        self.plans_failed = 0
+        self.fallback_successes = 0
+        self.sources_skipped: set[str] = set()
 
     def run(self) -> None:
-        sock = connect(self.host, self.port, timeout=self.timeout_s)
+        # A worker thread must never die with a traceback: every
+        # transport mishap — refused connect, socket timeout, partial
+        # frame, server hangup mid-stream — is *one request's* failure,
+        # counted in the report, after which the worker reconnects and
+        # keeps draining the cursor.
+        sock = None
+        stream = None
+
+        def drop_connection() -> None:
+            nonlocal sock, stream
+            for closeable in (stream, sock):
+                if closeable is not None:
+                    try:
+                        closeable.close()
+                    except OSError:
+                        pass
+            sock = None
+            stream = None
+
         try:
-            stream = sock.makefile("rwb")
             while True:
                 index = self.cursor.take()
                 if index is None:
                     return
-                self._one_request(stream, index)
+                if stream is None:
+                    try:
+                        sock = connect(
+                            self.host, self.port, timeout=self.timeout_s
+                        )
+                        stream = sock.makefile("rwb")
+                    except OSError:
+                        drop_connection()
+                        self.sent += 1
+                        self.errors += 1
+                        continue
+                try:
+                    alive = self._one_request(stream, index)
+                except (OSError, ValueError, ProtocolError):
+                    # OSError covers timeouts and resets; ValueError is
+                    # what a makefile raises once its socket is gone;
+                    # ProtocolError is a half-written frame.
+                    self.errors += 1
+                    alive = False
+                if not alive:
+                    drop_connection()
         finally:
-            sock.close()
+            drop_connection()
 
-    def _one_request(self, stream, index: int) -> None:
+    def _one_request(self, stream, index: int) -> bool:
+        """Run one request; False means the connection is unusable."""
         text = self.queries[index % len(self.queries)]
         record = protocol.request_record(
             text,
@@ -244,17 +337,18 @@ class _ClientWorker(threading.Thread):
             deadline_s=self.deadline_s,
             first_k_answers=self.first_k_answers,
         )
+        self.sent += 1
         started = time.perf_counter()
         stream.write(protocol.encode_line(record))
         stream.flush()
-        self.sent += 1
         first_answer_at: Optional[float] = None
         answers = 0
         while True:
             line = stream.readline()
             if not line:
+                # Server closed the connection mid-request.
                 self.errors += 1
-                return
+                return False
             reply = protocol.decode_line(line)
             kind = reply.get("type")
             if kind == "batch":
@@ -270,13 +364,30 @@ class _ClientWorker(threading.Thread):
                 if first_answer_at is not None:
                     self.first_latencies.append(first_answer_at)
                 self.last_latencies.append(elapsed)
-                return
+                self._record_degradation(reply, answers)
+                return True
             elif kind == "error":
                 if reply.get("code") == "overloaded":
                     self.rejected += 1
                 else:
                     self.errors += 1
-                return
+                return True
+
+    def _record_degradation(self, reply: dict, answers: int) -> None:
+        if "answers_partial" not in reply:
+            return
+        self.degradation_reported += 1
+        skipped = int(reply.get("plans_skipped") or 0)
+        self.plans_skipped += skipped
+        self.plans_failed += int(reply.get("plans_failed") or 0)
+        if reply.get("answers_partial"):
+            self.answers_partial += 1
+        for source in reply.get("sources_skipped") or ():
+            self.sources_skipped.add(str(source))
+        if reply.get("status") == "ok" and skipped and answers:
+            # Degraded yet useful: a breaker blocked at least one plan
+            # and a fallback plan still delivered answers.
+            self.fallback_successes += 1
 
 
 class _Cursor:
@@ -344,6 +455,12 @@ def run_load(
         report.rejected += worker.rejected
         report.deadline_exceeded += worker.deadline_exceeded
         report.answers += worker.answers
+        report.degradation_reported += worker.degradation_reported
+        report.answers_partial += worker.answers_partial
+        report.plans_skipped += worker.plans_skipped
+        report.plans_failed += worker.plans_failed
+        report.fallback_successes += worker.fallback_successes
+        report.sources_skipped.update(worker.sources_skipped)
         first.extend(worker.first_latencies)
         last.extend(worker.last_latencies)
     report.first_answer = LatencySummary.of(first)

@@ -15,11 +15,19 @@ Only ``query`` is required; everything else defaults server-side.
 Server → client, streamed as plans finish::
 
     {"type": "batch", "id": "q1", "rank": 1, "plan": ["v3", "v5"],
-     "utility": -12.5, "sound": true,
+     "utility": -12.5, "sound": true, "skipped": false, "failed": false,
      "answers": [["a", "b"]], "new_answers": [["a", "b"]]}
     ...
     {"type": "summary", "id": "q1", "status": "ok", "plans": 9,
-     "answers": 4, "deadline_exceeded": false, ...}
+     "answers": 4, "deadline_exceeded": false,
+     "plans_skipped": 0, "sources_skipped": [], "answers_partial": false,
+     "breaker_states": {}, ...}
+
+Degradation accounting is always present: ``skipped`` marks a plan a
+circuit breaker blocked, ``failed`` one that exhausted its retries,
+and every summary carries ``plans_skipped`` / ``plans_failed`` /
+``sources_skipped`` / ``answers_partial`` / ``breaker_states`` (see
+``docs/resilience.md``).
 
 Errors (bad request, overload) are terminal for that request::
 
@@ -191,6 +199,8 @@ def batch_record(request_id: str, batch: AnswerBatch) -> dict:
         "plan": list(batch.plan.key),
         "utility": batch.utility,
         "sound": batch.sound,
+        "skipped": batch.skipped,
+        "failed": batch.failed,
         "answers": _rows(batch.answers),
         "new_answers": _rows(batch.new_answers),
     }

@@ -51,6 +51,8 @@ from repro.ordering.bruteforce import ExhaustiveOrderer, PIOrderer
 from repro.ordering.greedy import GreedyOrderer
 from repro.ordering.idrips import IDripsOrderer
 from repro.ordering.streamer import StreamerOrderer
+from repro.resilience.manager import ResilienceManager
+from repro.resilience.measure import HealthAwareMeasure
 from repro.service.backends import ExecutionBackend
 from repro.service.policy import RequestPolicy
 from repro.service.session import PipelinedSession, SessionReport
@@ -170,10 +172,16 @@ class QueryService:
         config: Optional[ServiceConfig] = None,
         registry: Optional[MetricRegistry] = None,
         backend: Optional[ExecutionBackend] = None,
+        resilience: Optional[ResilienceManager] = None,
     ) -> None:
         self.config = config if config is not None else ServiceConfig()
         self.registry = registry if registry is not None else MetricRegistry()
-        self.mediator = Mediator(catalog, source_facts, registry=self.registry)
+        #: Shared across all requests: sessions consult its breakers
+        #: and feed its health tracker (threaded in via the mediator).
+        self.resilience = resilience
+        self.mediator = Mediator(
+            catalog, source_facts, registry=self.registry, resilience=resilience
+        )
         self.backend = backend
         self._measure_factories: dict[str, Callable[[], UtilityMeasure]] = dict(
             measures if measures is not None else {"linear": LinearCost}
@@ -183,7 +191,7 @@ class QueryService:
                 f"default measure {self.config.default_measure!r} is not "
                 f"among {sorted(self._measure_factories)}"
             )
-        self._shared_measures: dict[str, CachingUtilityMeasure] = {}
+        self._shared_measures: dict[str, UtilityMeasure] = {}
         self._measure_lock = threading.Lock()
         self._semaphore = threading.Semaphore(self.config.max_concurrent)
         self._queue: Queue = Queue(maxsize=self.config.backlog)
@@ -243,8 +251,17 @@ class QueryService:
     def measure_names(self) -> list[str]:
         return sorted(self._measure_factories)
 
-    def shared_measure(self, name: str) -> CachingUtilityMeasure:
-        """The cross-request memoized utility measure called *name*."""
+    def shared_measure(self, name: str) -> UtilityMeasure:
+        """The cross-request shared utility measure called *name*.
+
+        Without resilience (or with ``health_aware`` off) this is a
+        :class:`CachingUtilityMeasure` — request N's utility
+        evaluations warm the cache for request N+1.  With health-aware
+        re-ranking it is a :class:`HealthAwareMeasure` instead, and
+        deliberately *uncached*: the cache keys by plan source names,
+        which do not change when the observed failure rates do, so
+        memoized utilities would go stale as source health drifts.
+        """
         with self._measure_lock:
             measure = self._shared_measures.get(name)
             if measure is None:
@@ -255,9 +272,16 @@ class QueryService:
                         f"unknown measure {name!r}; "
                         f"have {sorted(self._measure_factories)}"
                     ) from None
-                measure = CachingUtilityMeasure(
-                    factory(), registry=self.registry
-                )
+                if self.resilience is not None and self.resilience.health_aware:
+                    measure = HealthAwareMeasure(
+                        factory(),
+                        self.resilience.tracker,
+                        min_observations=self.resilience.min_observations,
+                    )
+                else:
+                    measure = CachingUtilityMeasure(
+                        factory(), registry=self.registry
+                    )
                 self._shared_measures[name] = measure
         return measure
 

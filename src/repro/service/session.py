@@ -52,6 +52,7 @@ from repro.observability.tracing import NOOP_TRACER, Stopwatch, Tracer
 from repro.ordering.base import PlanOrderer
 from repro.reformulation.plans import QueryPlan
 from repro.reformulation.soundness import plan_query
+from repro.resilience.manager import ResilienceManager
 from repro.service.backends import ExecutionBackend, InMemoryBackend
 from repro.service.policy import RequestPolicy
 from repro.utility.base import UtilityMeasure
@@ -66,7 +67,13 @@ _TICK_S = 0.05
 
 @dataclass
 class SessionReport:
-    """What happened to one pipelined request."""
+    """What happened to one pipelined request.
+
+    The degradation fields (``plans_skipped`` through
+    ``breaker_states``) are always present — callers can rely on every
+    summary record carrying them, zeroed when nothing degraded.  See
+    ``docs/resilience.md``.
+    """
 
     plans_processed: int = 0
     sound_plans: int = 0
@@ -79,6 +86,11 @@ class SessionReport:
     exhausted: bool = False  # plan budget fully drained
     first_answer_s: Optional[float] = None
     elapsed_s: float = 0.0
+    plans_skipped: int = 0  # breaker blocked a source, never executed
+    plans_failed: int = 0  # retries exhausted, gracefully dropped
+    sources_skipped: list[str] = field(default_factory=list)
+    answers_partial: bool = False
+    breaker_states: dict[str, str] = field(default_factory=dict)
 
     @property
     def status(self) -> str:
@@ -102,6 +114,11 @@ class SessionReport:
             "exhausted": self.exhausted,
             "first_answer_s": self.first_answer_s,
             "elapsed_s": self.elapsed_s,
+            "plans_skipped": self.plans_skipped,
+            "plans_failed": self.plans_failed,
+            "sources_skipped": list(self.sources_skipped),
+            "answers_partial": self.answers_partial,
+            "breaker_states": dict(self.breaker_states),
         }
 
 
@@ -110,7 +127,7 @@ class _WorkItem:
 
     __slots__ = (
         "ordered", "sound", "executable", "answers", "retries",
-        "error", "dropped", "execute_s",
+        "error", "dropped", "execute_s", "skipped_sources",
     )
 
     def __init__(self, ordered, sound: bool, executable) -> None:
@@ -122,6 +139,8 @@ class _WorkItem:
         self.error: Optional[BaseException] = None
         self.dropped = False  # deadline/cancel hit before execution
         self.execute_s = 0.0
+        #: Breaker-blocked source names; non-empty means never executed.
+        self.skipped_sources: tuple[str, ...] = ()
 
 
 _DONE = object()
@@ -170,6 +189,7 @@ class PipelinedSession:
         policy: Optional[RequestPolicy] = None,
         tracer: Optional[Tracer] = None,
         registry: Optional[MetricRegistry] = None,
+        resilience: Optional[ResilienceManager] = None,
     ) -> None:
         if executor_workers < 1:
             raise ExecutionError("executor_workers must be at least 1")
@@ -182,6 +202,11 @@ class PipelinedSession:
         self.policy = policy if policy is not None else RequestPolicy()
         self.tracer = tracer if tracer is not None else mediator.tracer
         self.registry = registry if registry is not None else mediator.registry
+        self.resilience = (
+            resilience
+            if resilience is not None
+            else getattr(mediator, "resilience", None)
+        )
         self.last_report: Optional[SessionReport] = None
         self._plans_pipelined = self.registry.counter("service.plans_pipelined")
         self._retries = self.registry.counter("service.retries")
@@ -206,6 +231,7 @@ class PipelinedSession:
         the run.
         """
         mediator = self.mediator
+        resilience = self.resilience
         policy = policy if policy is not None else self.policy
         deadline = policy.start_deadline()
         token = policy.token()
@@ -282,6 +308,11 @@ class PipelinedSession:
 
         def execute_with_retries(item: _WorkItem) -> None:
             attempts = 0
+            sources = (
+                ResilienceManager.sources_of(item.ordered.plan)
+                if resilience is not None
+                else ()
+            )
             while True:
                 attempts += 1
                 try:
@@ -290,8 +321,14 @@ class PipelinedSession:
                             item.executable, database
                         )
                     item.execute_s += attempt_watch.elapsed
+                    if resilience is not None:
+                        resilience.record_success(
+                            sources, attempt_watch.elapsed
+                        )
                     return
                 except TransientExecutionError as exc:
+                    if resilience is not None:
+                        resilience.record_failure(sources, exc)
                     if (
                         attempts >= policy.retry.max_attempts
                         or aborted()
@@ -305,6 +342,13 @@ class PipelinedSession:
                         # cancellation cut the backoff short.
                         run.stop.wait(deadline.clamp(delay))
                 except BaseException as exc:
+                    # Non-transient failures (PermanentSourceError,
+                    # engine bugs) never retry; source-attributed ones
+                    # still feed the health tracker and breakers.
+                    if resilience is not None and isinstance(
+                        exc, ExecutionError
+                    ):
+                        resilience.record_failure(sources, exc)
                     item.error = exc
                     return
 
@@ -321,7 +365,12 @@ class PipelinedSession:
                 if token.cancelled or deadline.expired:
                     item.dropped = True
                 elif item.sound:
-                    execute_with_retries(item)
+                    if resilience is not None:
+                        item.skipped_sources = resilience.admit(
+                            item.ordered.plan
+                        )
+                    if not item.skipped_sources:
+                        execute_with_retries(item)
                 run.publish(item)
 
         producer = threading.Thread(
@@ -377,12 +426,16 @@ class PipelinedSession:
                     else:
                         report.deadline_exceeded = True
                     return
-                if item.error is not None:
+                if item.error is not None and (
+                    resilience is None or not resilience.graceful
+                ):
                     report.retries += item.retries
                     raise ExecutionError(
                         f"plan {item.ordered.plan} failed after "
                         f"{item.retries + 1} attempt(s)"
                     ) from item.error
+                skipped = bool(item.skipped_sources)
+                failed = item.error is not None
                 new = frozenset(item.answers - seen)
                 seen.update(item.answers)
                 batch = AnswerBatch(
@@ -392,6 +445,8 @@ class PipelinedSession:
                     item.sound,
                     item.answers,
                     new,
+                    skipped=skipped,
+                    failed=failed,
                 )
                 # Shared-registry updates are serialized: several
                 # sessions may be consuming concurrently in the server.
@@ -403,7 +458,16 @@ class PipelinedSession:
                         self._execute_hist.observe(item.execute_s)
                 report.plans_processed += 1
                 report.retries += item.retries
-                if batch.sound:
+                if skipped:
+                    report.plans_skipped += 1
+                    for source in item.skipped_sources:
+                        if source not in report.sources_skipped:
+                            report.sources_skipped.append(source)
+                    report.answers_partial = True
+                elif failed:
+                    report.plans_failed += 1
+                    report.answers_partial = True
+                elif batch.sound:
                     report.sound_plans += 1
                 else:
                     report.unsound_plans += 1
@@ -435,6 +499,8 @@ class PipelinedSession:
                 worker.join(timeout=5 * _TICK_S)
             if adopted_tracer:
                 orderer.tracer = NOOP_TRACER
+            if resilience is not None:
+                report.breaker_states = resilience.breaker_states()
             report.elapsed_s = watch.stop()
             report.answers = len(seen)
 

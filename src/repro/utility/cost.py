@@ -113,7 +113,12 @@ class BindJoinCost(UtilityMeasure):
         value per subgoal; position 0 is unused.
     failure_aware:
         Divide cost by ``prod_i (1 - f_i)``, the probability that
-        every source access succeeds.
+        every source access succeeds.  The ``f_i`` read here are
+        whatever ``source.stats.failure_prob`` holds — static catalog
+        priors by default; at serving time
+        :class:`repro.resilience.measure.HealthAwareMeasure` rebuilds
+        the sources with *observed* EWMA failure rates before this
+        measure ever sees them.
     caching:
         Zero the term of cached source operations (see module
         docstring).

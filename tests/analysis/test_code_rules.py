@@ -415,6 +415,71 @@ class TestMutableDefault:
         ) == []
 
 
+# -- COD006: bare time.sleep -------------------------------------------------------
+
+
+class TestBareSleep:
+    def test_catches_module_qualified_sleep(self):
+        (finding,) = lint(
+            """
+            import time
+
+            def backoff(delay):
+                time.sleep(delay)
+            """,
+            select=["COD006"],
+        )
+        assert finding.rule == "COD006"
+        assert "backoff()" in finding.message
+        assert "CancellationToken.wait" in finding.fix_hint
+
+    def test_catches_from_import_and_alias(self):
+        hits = rules_hit(
+            """
+            from time import sleep as snooze
+
+            def backoff(delay):
+                snooze(delay)
+            """,
+            select=["COD006"],
+        )
+        assert hits == ["COD006"]
+
+    def test_clean_event_wait_and_unrelated_sleep(self):
+        assert rules_hit(
+            """
+            import threading
+
+            class Pauser:
+                def __init__(self):
+                    self._interrupt = threading.Event()
+
+                def pause(self, delay, stop=None):
+                    if stop is not None:
+                        stop.wait(delay)
+                    else:
+                        self._interrupt.wait(delay)
+
+            def sleep(machine):
+                # A local function merely *named* sleep is fine.
+                machine.suspend()
+            """,
+            select=["COD006"],
+        ) == []
+
+    def test_allow_comment_suppresses(self):
+        assert rules_hit(
+            """
+            import time
+
+            def calibrate():
+                # lint: allow[bare-sleep]
+                time.sleep(0.001)
+            """,
+            select=["COD006"],
+        ) == []
+
+
 # -- cross-cutting behaviour -------------------------------------------------------
 
 

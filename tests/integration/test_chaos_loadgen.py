@@ -1,0 +1,115 @@
+"""Acceptance: a chaos-stressed service survives a full loadgen run.
+
+Under the bundled ``smoke`` profile (v4 permanently dead, v3 and v5
+flaking at 35%), a 20-request load generation run against the TCP
+front end must complete with zero transport errors, every reply must
+carry degradation accounting, and at least one request must succeed
+via fallback plans after the v4 breaker opens.  The chaos draws are
+seeded, so the fault pattern is reproducible run to run.
+"""
+
+import pytest
+
+from repro.resilience.chaos import ChaosBackend, bundled_profile
+from repro.resilience.manager import ResilienceManager
+from repro.service.frontend import start_server
+from repro.service.loadgen import run_load
+from repro.service.policy import RequestPolicy, RetryPolicy
+from repro.service.server import QueryRequest, QueryService, ServiceConfig
+from repro.utility.cost import BindJoinCost, LinearCost
+from repro.workloads.movies import movie_domain
+
+REQUESTS = 20
+QUERY = "q(T, R) :- play_in(A, T), review_of(R, T)"
+FAST_POLICY = RequestPolicy(
+    retry=RetryPolicy(max_attempts=2, base_s=0.001, cap_s=0.002)
+)
+
+
+@pytest.fixture
+def chaos_served():
+    movies = movie_domain()
+    resilience = ResilienceManager()
+    service = QueryService(
+        movies.catalog,
+        movies.source_facts,
+        measures={
+            "linear": LinearCost,
+            "failure": lambda: BindJoinCost(failure_aware=True),
+        },
+        config=ServiceConfig(default_policy=FAST_POLICY),
+        backend=ChaosBackend(bundled_profile("smoke"), seed=7),
+        resilience=resilience,
+    )
+    server, _thread = start_server(service, port=0)
+    try:
+        yield server, resilience
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.shutdown()
+
+
+def test_chaos_loadgen_completes_with_degradation_accounting(chaos_served):
+    server, resilience = chaos_served
+    report = run_load(
+        "127.0.0.1",
+        server.port,
+        [QUERY],
+        requests=REQUESTS,
+        concurrency=3,
+        timeout_s=30.0,
+    )
+    # Zero unhandled exceptions: every request completed normally.
+    assert report.sent == REQUESTS
+    assert report.completed == REQUESTS
+    assert report.errors == 0
+    assert report.rejected == 0
+    # Every reply carried the degradation fields.
+    assert report.degradation_reported == REQUESTS
+    # The dead source tripped its breaker and stayed skipped.
+    assert "v4" in report.sources_skipped
+    assert report.plans_skipped >= 1
+    assert resilience.breaker_states().get("v4") == "open"
+    # At least one request still produced answers from fallback plans
+    # after the breaker opened.
+    assert report.fallback_successes >= 1
+    # Degradation survives serialization for the CI artifact.
+    payload = report.as_dict()
+    assert payload["degradation"]["reported"] == REQUESTS
+    assert "v4" in payload["degradation"]["sources_skipped"]
+
+
+def test_same_seed_reproduces_the_same_injected_faults():
+    """The chaos fault pattern is a pure function of its seed."""
+    movies = movie_domain()
+
+    def run_once():
+        backend = ChaosBackend(bundled_profile("smoke"), seed=7)
+        resilience = ResilienceManager()
+        service = QueryService(
+            movies.catalog,
+            movies.source_facts,
+            measures={"linear": LinearCost},
+            config=ServiceConfig(default_policy=FAST_POLICY),
+            backend=backend,
+            resilience=resilience,
+        )
+        try:
+            outcomes = []
+            for index in range(6):
+                result = service.execute(
+                    QueryRequest(movies.query, request_id=f"r{index}")
+                )
+                outcomes.append(
+                    (
+                        result.report.status,
+                        result.report.plans_failed,
+                        result.report.plans_skipped,
+                    )
+                )
+            return outcomes
+        finally:
+            service.shutdown()
+
+    assert run_once() == run_once()

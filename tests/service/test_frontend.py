@@ -2,12 +2,14 @@
 
 import json
 import socket
+import threading
 
 import pytest
 
 from repro.errors import ProtocolError
 from repro.service import protocol
 from repro.service.frontend import connect, start_server
+from repro.service.loadgen import run_load
 from repro.service.policy import RequestPolicy, RetryPolicy
 from repro.service.server import QueryService, ServiceConfig
 from repro.utility.cost import LinearCost
@@ -209,3 +211,89 @@ class TestLifecycle:
         assert not thread.is_alive()
         with pytest.raises(OSError):
             socket.create_connection(("127.0.0.1", port), timeout=0.2)
+
+
+class _MisbehavingServer(threading.Thread):
+    """A fake server that reads one request line, then misbehaves.
+
+    ``payload`` is written verbatim before the connection is closed:
+    half a JSON frame models a server dying mid-write; an empty payload
+    models an immediate hangup after the request.
+    """
+
+    def __init__(self, payload: bytes) -> None:
+        super().__init__(daemon=True)
+        self.payload = payload
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen()
+        self._listener.settimeout(0.2)
+        self.port = self._listener.getsockname()[1]
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with conn:
+                reader = conn.makefile("rb")
+                reader.readline()  # consume the client's request
+                if self.payload:
+                    conn.sendall(self.payload)
+
+    def close(self) -> None:
+        self._halt.set()
+        self._listener.close()
+        self.join(timeout=5.0)
+
+
+class TestClientHardening:
+    """Transport failures become per-request errors, never crashes."""
+
+    def drive(self, port, requests=4, concurrency=2):
+        return run_load(
+            "127.0.0.1",
+            port,
+            ["q(T, R) :- play_in(A, T), review_of(R, T)"],
+            requests=requests,
+            concurrency=concurrency,
+            timeout_s=2.0,
+        )
+
+    def test_half_written_frame_counts_as_request_error(self):
+        server = _MisbehavingServer(b'{"type": "summary", "status"')
+        server.start()
+        try:
+            report = self.drive(server.port)
+        finally:
+            server.close()
+        assert report.sent == 4
+        assert report.completed == 0
+        assert report.errors == 4
+        assert report.degradation_reported == 0
+
+    def test_immediate_hangup_counts_as_request_error(self):
+        server = _MisbehavingServer(b"")
+        server.start()
+        try:
+            report = self.drive(server.port)
+        finally:
+            server.close()
+        assert report.sent == 4
+        assert report.completed == 0
+        assert report.errors == 4
+
+    def test_refused_connection_counts_per_request(self):
+        # Bind-then-close guarantees a port nobody is listening on.
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        dead_port = placeholder.getsockname()[1]
+        placeholder.close()
+        report = self.drive(dead_port, requests=3, concurrency=2)
+        assert report.sent == 3
+        assert report.completed == 0
+        assert report.errors == 3

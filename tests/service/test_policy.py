@@ -1,10 +1,11 @@
 """Tests for per-request policies: deadlines, cancellation, retries."""
 
+import threading
 import time
 
 import pytest
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, TransientExecutionError
 from repro.service.policy import (
     CancellationToken,
     Deadline,
@@ -89,6 +90,55 @@ class TestRetryPolicy:
     def test_invalid_parameters_rejected(self, kwargs):
         with pytest.raises(ServiceError):
             RetryPolicy(**kwargs)
+
+    def test_single_attempt_policy_never_backs_off(self):
+        # max_attempts=1 means "no retries": the executor loop asks for
+        # a delay only between attempts, so delay() is never reached.
+        policy = RetryPolicy(max_attempts=1)
+        assert [n for n in range(1, policy.max_attempts)] == []
+
+    def test_attempt_exhaustion_reraises_last_error(self):
+        """The canonical retry loop: attempts stop at max_attempts.
+
+        This mirrors ``PipelinedSession.execute_with_retries`` — a
+        transient failure backs off and retries; once the budget is
+        spent the last error propagates unchanged.
+        """
+        policy = RetryPolicy(max_attempts=3, base_s=0.0)
+        token = CancellationToken()
+        attempts = 0
+
+        def flaky():
+            nonlocal attempts
+            attempts += 1
+            raise TransientExecutionError(f"attempt {attempts} failed")
+
+        with pytest.raises(TransientExecutionError, match="attempt 3"):
+            for attempt in range(1, policy.max_attempts + 1):
+                try:
+                    flaky()
+                    break
+                except TransientExecutionError:
+                    if attempt >= policy.max_attempts:
+                        raise
+                    token.wait(policy.delay(attempt))
+        assert attempts == policy.max_attempts
+
+    def test_cancellation_wakes_a_backoff_sleep(self):
+        # A 30-second backoff must end the instant the token fires,
+        # not after the full delay.
+        policy = RetryPolicy(max_attempts=2, base_s=30.0, cap_s=30.0)
+        token = CancellationToken()
+        timer = threading.Timer(0.02, token.cancel)
+        timer.start()
+        try:
+            started = time.monotonic()
+            cancelled = token.wait(policy.delay(1))
+            elapsed = time.monotonic() - started
+        finally:
+            timer.cancel()
+        assert cancelled
+        assert elapsed < 5.0
 
 
 class TestRequestPolicy:
