@@ -1,0 +1,84 @@
+"""Journal overhead on the mediator's answer loop.
+
+The event journal is wired into every branch of ``Mediator.answer``;
+like tracing, it must be free when disabled (the ``journal.enabled``
+guard) and cheap when on (dict build + one lock + list append per
+event).  Three cells on the movie workload make the cost visible next
+to each other: no journal (the NOOP default), a live in-memory
+journal, and a live journal mirrored to an in-memory stream — the
+``repro serve --journal`` configuration.
+
+``repro profile`` measures the same ratio headlessly and CI gates it
+(journal-off within 5% of a hook-free control loop); these cells are
+the interactive view for ``pytest benchmarks/bench_journal.py``.
+"""
+
+import io
+
+import pytest
+
+from repro.execution.mediator import Mediator
+from repro.observability.journal import EventJournal
+from repro.ordering.greedy import GreedyOrderer
+from repro.utility.cost import LinearCost
+from repro.workloads.movies import movie_domain
+
+
+def _drain(mediator, query, utility):
+    count = 0
+    for _batch in mediator.answer(
+        query, utility, orderer=GreedyOrderer(utility), request_id="bench"
+    ):
+        count += 1
+    return count
+
+
+@pytest.mark.parametrize("mode", ("off", "memory", "streamed"))
+def test_mediator_journal_overhead(benchmark, mode):
+    domain = movie_domain()
+    utility = LinearCost()
+
+    def make_mediator():
+        if mode == "off":
+            return Mediator(domain.catalog, domain.source_facts)
+        if mode == "memory":
+            journal = EventJournal()
+        else:
+            journal = EventJournal(stream=io.StringIO())
+        return Mediator(domain.catalog, domain.source_facts, journal=journal)
+
+    def once():
+        mediator = make_mediator()
+        return _drain(mediator, domain.query, utility), mediator
+
+    batches, mediator = benchmark.pedantic(
+        once, rounds=20, iterations=3, warmup_rounds=2
+    )
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["batches"] = batches
+    assert batches > 0
+    if mode != "off":
+        mediator.journal.validate()
+        assert len(mediator.journal.events(event="plan.emitted")) == batches
+
+
+def test_journal_emit_throughput(benchmark):
+    """Raw emit cost: envelope build, lock, append — no eviction."""
+    journal = EventJournal(capacity=1_000_000)
+
+    def once():
+        for rank in range(1000):
+            journal.emit(
+                "plan.executed",
+                request_id="bench",
+                rank=rank,
+                answers=10,
+                new_answers=1,
+                execute_s=0.001,
+            )
+        return len(journal)
+
+    total = benchmark.pedantic(once, rounds=10, iterations=1)
+    benchmark.extra_info["events"] = total
+    assert total >= 1000
+    journal.reset()

@@ -21,6 +21,10 @@ encode *this repo's* invariants:
   an uninterruptible pause; shutdown and cancellation must be able to
   wake every wait, so pauses go through an event-like ``.wait()``
   (``CancellationToken.wait``, ``threading.Event.wait``).
+* ``COD007 library-print`` — ``print()`` in library code bypasses the
+  observability layer (journal, metrics, tracing) and cannot be
+  silenced by embedders; only the CLI and the experiment reporters
+  (allow-listed by path) may write to stdout directly.
 
 Every checker takes a :class:`~repro.analysis.astutils.CodeModule` and
 yields :class:`~repro.analysis.diagnostics.Diagnostic` records.
@@ -514,3 +518,55 @@ def check_bare_sleep(module: CodeModule) -> Iterator[Diagnostic]:
             "(returning early when set)",
             function=where or "",
         )
+
+
+# -- COD007: print in library code -------------------------------------------------
+
+#: Path suffixes (``/``-normalized) where printing to stdout IS the
+#: job: the CLI, module entry points, and the experiment reporters.
+_PRINT_ALLOWED_SUFFIXES = (
+    "cli.py",
+    "__main__.py",
+    "experiments/figure6.py",
+    "experiments/report.py",
+)
+
+
+def _print_allowed(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return normalized.endswith(_PRINT_ALLOWED_SUFFIXES)
+
+
+@rule(
+    "COD007",
+    "library-print",
+    FAMILY_CODE,
+    Severity.ERROR,
+    "print() in library code instead of the observability layer",
+    "Library code writes stdout that embedders (services, tests, "
+    "pipelines) cannot intercept or silence; observations belong in "
+    "the journal, the metric registry, or a returned report object.  "
+    "Only the CLI and the experiment reporters print.",
+)
+def check_library_print(module: CodeModule) -> Iterator[Diagnostic]:
+    if _print_allowed(module.path):
+        return
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            where = _enclosing_function(module.tree, node)
+            context = f" in {where}()" if where else ""
+            yield _diagnostic(
+                module,
+                "COD007",
+                Severity.ERROR,
+                node,
+                f"print(){context} writes to stdout from library code",
+                fix_hint="emit a journal event, record a metric, or "
+                "return the text to the caller; printing is reserved "
+                "for cli.py and the experiment reporters",
+                function=where or "",
+            )

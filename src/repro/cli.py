@@ -26,6 +26,14 @@ Commands
 ``lint``
     Static analysis (:mod:`repro.analysis`): the AST code rules over a
     source tree and/or the scenario rules over bundled workloads.
+``profile``
+    Headless perf-baseline run (:mod:`repro.experiments.profile`):
+    ordering throughput, observability-hook overhead ratios, service
+    latency percentiles — written as the CI artifact
+    ``BENCH_PR5.json``; ``--check`` enforces the overhead bound.
+``metrics-dump``
+    Convert a ``--metrics-out`` JSON export (or scrape a running
+    ``/metrics`` endpoint) to Prometheus text on stdout.
 """
 
 from __future__ import annotations
@@ -230,6 +238,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_requests=args.trace,
     )
     backend, resilience = _chaos_setup(args)
+    journal = None
+    journal_sink = None
+    if args.journal:
+        from repro.observability.journal import EventJournal
+
+        journal_sink = open(args.journal, "w", encoding="utf-8")
+        journal = EventJournal(stream=journal_sink)
     service = QueryService(
         catalog,
         facts,
@@ -237,7 +252,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         config=config,
         backend=backend,
         resilience=resilience,
+        journal=journal,
     )
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.service.metricsd import start_metrics_server
+
+        metrics_server, _mthread = start_metrics_server(
+            service.prometheus_text, host=args.host, port=args.metrics_port
+        )
+        print(
+            f"metrics on http://{args.host}:{metrics_server.port}/metrics",
+            flush=True,
+        )
     server, _thread = start_server(service, host=args.host, port=args.port)
     stop = threading.Event()
     try:
@@ -263,6 +290,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server.shutdown()
     server.server_close()
     service.shutdown()
+    if metrics_server is not None:
+        metrics_server.shutdown()
+        metrics_server.server_close()
+    if journal_sink is not None:
+        journal_sink.close()
+        print(f"journal written to {args.journal}", flush=True)
     return 0
 
 
@@ -319,6 +352,80 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             handle.write("\n")
         print(f"degradation summary written to {args.degradation_out}")
     return 0 if report.errors == 0 else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+    from datetime import datetime, timezone
+
+    from repro.experiments.profile import check_profile, run_profile
+
+    payload = run_profile(
+        seed=args.seed,
+        quick=args.quick,
+        rounds=args.rounds,
+        timestamp=datetime.now(timezone.utc).isoformat(),
+    )
+    ordering = payload["ordering"]
+    overhead = payload["overhead"]
+    service = payload["service"]
+    print(
+        f"ordering    greedy {ordering['greedy']['plans_per_s']:,.0f} plans/s, "
+        f"pi {ordering['pi']['plans_per_s']:,.0f} plans/s "
+        f"(k={ordering['k']}, space={ordering['space_size']})"
+    )
+    print(
+        f"overhead    journal off x{overhead['journal_off_ratio']:.3f}, "
+        f"on x{overhead['journal_on_ratio']:.3f}, "
+        f"tracing x{overhead['tracing_on_ratio']:.3f} "
+        f"(control {overhead['control_median_s'] * 1e3:.3f} ms/drain)"
+    )
+    print(
+        f"service     {service['completed']}/{service['requests']} ok at "
+        f"{service['throughput_rps']:,.0f} req/s; first-answer "
+        f"p50={service['first_answer']['p50_s'] * 1e3:.2f} ms "
+        f"p99={service['first_answer']['p99_s'] * 1e3:.2f} ms"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline written to {args.out}")
+    if args.check:
+        problems = check_profile(payload)
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("check passed: disabled journal hooks within the overhead bound")
+    return 0
+
+
+def _cmd_metrics_dump(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ObservabilityError
+    from repro.observability.prometheus import render_export
+
+    if args.url:
+        from urllib.request import urlopen
+
+        with urlopen(args.url, timeout=args.timeout) as response:
+            sys.stdout.write(response.read().decode("utf-8"))
+        return 0
+    if not args.path:
+        print(
+            "metrics-dump: need a JSON export path or --url", file=sys.stderr
+        )
+        return 2
+    with open(args.path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    try:
+        sys.stdout.write(render_export(payload))
+    except ObservabilityError as exc:
+        print(f"metrics-dump: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _split_patterns(values: Optional[Sequence[str]]) -> tuple[str, ...]:
@@ -475,6 +582,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     serve.add_argument("--no-breakers", action="store_true",
                        help="with --chaos: keep health tracking and graceful "
                             "degradation but never skip plans behind breakers")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="also expose Prometheus text on "
+                            "http://HOST:PORT/metrics (0 picks a free port)")
+    serve.add_argument("--journal", metavar="PATH", default=None,
+                       help="record the correlated event journal as JSON "
+                            "lines to PATH")
 
     bench = sub.add_parser("bench-serve",
                            help="load-generate against the query service")
@@ -537,6 +650,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
 
+    profile = sub.add_parser("profile",
+                             help="headless perf baseline (BENCH_PR5.json)")
+    profile.add_argument("--out", metavar="PATH", default=None,
+                         help="write the baseline document to PATH as JSON")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--rounds", type=int, default=None,
+                         help="interleaved measurement rounds per section")
+    profile.add_argument("--quick", action="store_true",
+                         help="fewer rounds/requests (smoke mode)")
+    profile.add_argument("--check", action="store_true",
+                         help="fail (exit 1) when disabled journal hooks "
+                              "exceed the 5%% overhead bound")
+
+    dump = sub.add_parser("metrics-dump",
+                          help="metrics JSON export -> Prometheus text")
+    dump.add_argument("path", nargs="?", default=None,
+                      help="a JSON file written by --metrics-out or "
+                           "MetricRegistry.write_json")
+    dump.add_argument("--url", metavar="URL", default=None,
+                      help="scrape a running /metrics endpoint instead of "
+                           "reading a file")
+    dump.add_argument("--timeout", type=float, default=5.0,
+                      help="HTTP timeout for --url (seconds)")
+
     args = parser.parse_args(argv)
     if args.command == "demo":
         return _cmd_demo(args)
@@ -550,6 +687,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_bench_serve(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "metrics-dump":
+        return _cmd_metrics_dump(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

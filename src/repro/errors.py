@@ -95,6 +95,10 @@ class AnalysisError(ReproError):
     """Raised by the static-analysis layer (bad rule ids, baselines, ...)."""
 
 
+class ObservabilityError(ReproError):
+    """Raised by the observability layer (journal schema violations, ...)."""
+
+
 class ServiceError(ReproError):
     """Raised by the concurrent query service layer."""
 

@@ -31,6 +31,7 @@ from typing import Callable, Iterator, Mapping, Optional
 from repro.errors import ExecutionError
 from repro.datalog.query import ConjunctiveQuery
 from repro.execution.engine import evaluate_conjunctive_query
+from repro.observability.journal import EventJournal, NOOP_JOURNAL
 from repro.observability.metrics import MetricRegistry
 from repro.observability.tracing import NOOP_TRACER, Stopwatch, Tracer
 from repro.ordering.base import PlanOrderer
@@ -83,6 +84,7 @@ class Mediator:
         *,
         registry: Optional[MetricRegistry] = None,
         tracer: Optional[Tracer] = None,
+        journal: Optional[EventJournal] = None,
         resilience: Optional[ResilienceManager] = None,
     ) -> None:
         self.catalog = catalog
@@ -92,6 +94,12 @@ class Mediator:
         self.orderer_factory = orderer_factory or PIOrderer
         self.registry = registry if registry is not None else MetricRegistry()
         self.tracer = tracer if tracer is not None else NOOP_TRACER
+        #: Lifecycle event stream (see repro.observability.journal);
+        #: disabled by default, shared with sessions built on this
+        #: mediator.  Correlation ids come from the ``request_id``
+        #: parameter of :meth:`answer` (the service layer supplies its
+        #: own ids).
+        self.journal = journal if journal is not None else NOOP_JOURNAL
         #: When set, ``answer`` (and any PipelinedSession built on this
         #: mediator) consults breakers before executing a plan and feeds
         #: execution outcomes back into the health tracker.
@@ -171,12 +179,23 @@ class Mediator:
         utility: UtilityMeasure,
         max_plans: Optional[int] = None,
         orderer: Optional[PlanOrderer] = None,
+        *,
+        request_id: str = "",
     ) -> Iterator[AnswerBatch]:
         """Stream answer batches, best plans first.
 
         ``max_plans`` bounds how many plans (sound or not) are pulled
         from the ordering; by default the whole plan space is drained.
+        ``request_id`` is the correlation id stamped on the journal
+        events this run emits (when the mediator's journal is on).
         """
+        journal = self.journal.bind(request_id)
+        # Hoisted once: the flag cannot change mid-run, and the loop
+        # below consults it per plan (BoundJournal.enabled is a
+        # property — a local bool keeps the disabled path near-free;
+        # ``repro profile`` gates this in CI).
+        journaling = journal.enabled
+        watch = Stopwatch().start()
         space = self.reformulate(query)
         if orderer is None:
             orderer = self.orderer_factory(utility)
@@ -206,6 +225,14 @@ class Mediator:
                 executable = self.check_soundness(query, ordered.plan)
                 sound = executable is not None
                 soundness[ordered.plan.key] = sound
+                if journaling:
+                    journal.emit(
+                        "plan.emitted",
+                        rank=ordered.rank,
+                        plan=list(ordered.plan.key),
+                        utility=ordered.utility,
+                        sound=sound,
+                    )
                 if not sound:
                     batch = AnswerBatch(
                         ordered.rank,
@@ -216,9 +243,16 @@ class Mediator:
                         frozenset(),
                     )
                     self.record_batch(batch)
+                    if journaling:
+                        journal.emit("plan.unsound", rank=ordered.rank)
                     yield batch
                     continue
-                if resilience is not None and resilience.admit(ordered.plan):
+                blocked = (
+                    resilience.admit(ordered.plan, request_id=request_id)
+                    if resilience is not None
+                    else ()
+                )
+                if blocked:
                     # A breaker blocks one of the plan's sources: skip
                     # without executing so the retry budget survives
                     # for plans with a chance of answering.
@@ -232,6 +266,12 @@ class Mediator:
                         skipped=True,
                     )
                     self.record_batch(batch)
+                    if journaling:
+                        journal.emit(
+                            "plan.skipped",
+                            rank=ordered.rank,
+                            sources=list(blocked),
+                        )
                     yield batch
                     continue
                 sources = (
@@ -245,7 +285,9 @@ class Mediator:
                 except ExecutionError as exc:
                     if resilience is None or not resilience.graceful:
                         raise
-                    resilience.record_failure(sources, exc)
+                    resilience.record_failure(
+                        sources, exc, request_id=request_id
+                    )
                     batch = AnswerBatch(
                         ordered.rank,
                         ordered.plan,
@@ -256,16 +298,47 @@ class Mediator:
                         failed=True,
                     )
                     self.record_batch(batch)
+                    if journaling:
+                        journal.emit(
+                            "plan.failed",
+                            rank=ordered.rank,
+                            error=type(exc).__name__,
+                        )
                     yield batch
                     continue
                 if resilience is not None:
-                    resilience.record_success(sources, exec_watch.elapsed)
+                    resilience.record_success(
+                        sources, exec_watch.elapsed, request_id=request_id
+                    )
                 new = frozenset(answers - seen)
+                first_answer = bool(new) and not seen
                 seen.update(answers)
                 batch = AnswerBatch(
                     ordered.rank, ordered.plan, ordered.utility, True, answers, new
                 )
                 self.record_batch(batch)
+                if journaling:
+                    journal.emit(
+                        "plan.executed",
+                        rank=ordered.rank,
+                        answers=len(answers),
+                        new_answers=len(new),
+                        execute_s=exec_watch.elapsed,
+                    )
+                    if new:
+                        elapsed = watch.stop()
+                        if first_answer:
+                            journal.emit(
+                                "answer.first",
+                                rank=ordered.rank,
+                                elapsed_s=elapsed,
+                            )
+                        journal.emit(
+                            "answer.progress",
+                            rank=ordered.rank,
+                            answers=len(seen),
+                            elapsed_s=elapsed,
+                        )
                 yield batch
         finally:
             # Whether the iteration finished, broke early, or raised:

@@ -1,0 +1,378 @@
+"""The perf-baseline harness behind ``repro profile``.
+
+Runs the repository's hot paths headlessly — no pytest, no sockets
+unless asked — and produces one JSON document (``BENCH_PR5.json`` in
+CI) that later runs diff against:
+
+* **ordering** — plans-per-second of the Greedy and PI orderers on
+  the camera domain (the ``bench_greedy`` cell);
+* **overhead** — the cost of the observability hooks on the mediator
+  loop: the hooked ``Mediator.answer`` with journalling *off* (the
+  default everyone pays) and *on*, and with tracing on, each as a
+  ratio over a hand-inlined control loop with no journal hooks at
+  all.  The ``journal_off_ratio`` is the number CI bounds (≤ 1.05):
+  disabled instrumentation must stay within noise of free;
+* **service** — time-to-first-answer and total latency percentiles of
+  the in-process :class:`~repro.service.server.QueryService` under a
+  concurrent query mix;
+* **deterministic** — a timing-free fingerprint of the same workload
+  (answer counts, journal event counts, an answer checksum), byte-
+  reproducible under a fixed seed, so a diff separates "got slower"
+  from "computes something else now".
+
+Rounds are interleaved (control, hooked, control, ...) and medians
+reported, which keeps the ratios stable on noisy CI machines.  This
+module computes and returns; the CLI does the printing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import statistics
+from typing import Callable, Optional
+
+from repro.datalog.parser import parse_query
+from repro.execution.mediator import AnswerBatch, Mediator
+from repro.resilience.manager import ResilienceManager
+from repro.observability.journal import EventJournal
+from repro.observability.tracing import Stopwatch, Tracer
+from repro.ordering.bruteforce import PIOrderer
+from repro.ordering.greedy import GreedyOrderer
+from repro.service.loadgen import build_query_mix, percentile
+from repro.service.server import QueryRequest, QueryService, ServiceConfig
+from repro.utility.cost import LinearCost
+from repro.workloads.cameras import camera_domain
+from repro.workloads.movies import movie_domain
+
+__all__ = ["run_profile", "check_profile", "BASELINE_SCHEMA_VERSION"]
+
+#: Bump when the document layout changes incompatibly.
+BASELINE_SCHEMA_VERSION = 1
+
+#: CI bound: hooked-but-disabled journalling may cost at most this
+#: fraction over the no-hooks control loop (see ``check_profile``).
+MAX_JOURNAL_OFF_OVERHEAD = 0.05
+
+
+def _median_of(fn: Callable[[], object], rounds: int) -> float:
+    times = []
+    for _ in range(rounds):
+        with Stopwatch() as watch:
+            fn()
+        times.append(watch.elapsed)
+    return statistics.median(times)
+
+
+# -- ordering throughput ----------------------------------------------------------
+
+
+def _ordering_section(seed: int, rounds: int, k: int) -> dict:
+    domain = camera_domain(seed)
+    section: dict[str, object] = {"k": k, "space_size": domain.space.size}
+    for name, factory in (("greedy", GreedyOrderer), ("pi", PIOrderer)):
+        def once() -> None:
+            factory(LinearCost()).order_list(domain.space, k)
+
+        median_s = _median_of(once, rounds)
+        section[name] = {
+            "median_s": median_s,
+            "plans_per_s": k / median_s if median_s > 0 else 0.0,
+        }
+    return section
+
+
+# -- observability-hook overhead --------------------------------------------------
+
+
+def _drain_hooked(mediator: Mediator, query, utility) -> int:
+    """The real mediator loop (journal hooks present on every branch)."""
+    count = 0
+    orderer = GreedyOrderer(utility)
+    for _batch in mediator.answer(query, utility, orderer=orderer):
+        count += 1
+    return count
+
+
+def _drain_control(mediator: Mediator, query, utility) -> int:
+    """``Mediator.answer``'s body with the journal hooks deleted.
+
+    This is the pre-instrumentation loop: same stages (reformulate,
+    order, soundness, execute, record), same per-plan allocations, no
+    ``journal.enabled`` checks.  Kept in lockstep with
+    ``Mediator.answer`` by the equivalence assertion in
+    ``run_profile`` (both drains must produce identical batch counts
+    and answers).
+    """
+    orderer = GreedyOrderer(utility)
+    space = mediator.reformulate(query)
+    soundness: dict[tuple[str, ...], bool] = {}
+
+    def on_emit(plan) -> bool:
+        return soundness[plan.key]
+
+    seen: set[tuple[object, ...]] = set()
+    resilience = mediator.resilience
+    count = 0
+    for ordered in orderer.order(space, space.size, on_emit=on_emit):
+        executable = mediator.check_soundness(query, ordered.plan)
+        sound = executable is not None
+        soundness[ordered.plan.key] = sound
+        if not sound:
+            batch = AnswerBatch(
+                ordered.rank, ordered.plan, ordered.utility,
+                False, frozenset(), frozenset(),
+            )
+            mediator.record_batch(batch)
+            count += 1
+            continue
+        # The resilience conditionals predate the journal and stay in
+        # the control loop; only the journal hooks are deleted.
+        blocked = (
+            resilience.admit(ordered.plan) if resilience is not None else ()
+        )
+        if blocked:
+            batch = AnswerBatch(
+                ordered.rank, ordered.plan, ordered.utility,
+                True, frozenset(), frozenset(), skipped=True,
+            )
+            mediator.record_batch(batch)
+            count += 1
+            continue
+        sources = (
+            ResilienceManager.sources_of(ordered.plan)
+            if resilience is not None
+            else ()
+        )
+        with Stopwatch() as exec_watch:
+            answers = mediator.execute_query(executable)
+        if resilience is not None:
+            resilience.record_success(sources, exec_watch.elapsed)
+        new = frozenset(answers - seen)
+        seen.update(answers)
+        batch = AnswerBatch(
+            ordered.rank, ordered.plan, ordered.utility, True, answers, new
+        )
+        mediator.record_batch(batch)
+        count += 1
+    return count
+
+
+def _overhead_section(rounds: int, repeats: int) -> dict:
+    """Interleaved medians of the control loop vs the hooked variants."""
+    domain = movie_domain()
+    utility = LinearCost()
+
+    plain = Mediator(domain.catalog, domain.source_facts)
+    journal_on = Mediator(
+        domain.catalog, domain.source_facts, journal=EventJournal()
+    )
+    tracing_on = Mediator(
+        domain.catalog, domain.source_facts, tracer=Tracer(enabled=True)
+    )
+
+    # The control loop must be the same computation or the ratio is
+    # meaningless; equal batch counts over the full drain check that.
+    hooked_batches = _drain_hooked(plain, domain.query, utility)
+    control_batches = _drain_control(plain, domain.query, utility)
+
+    variants: dict[str, Callable[[], object]] = {
+        "control": lambda: _drain_control(plain, domain.query, utility),
+        "journal_off": lambda: _drain_hooked(plain, domain.query, utility),
+        "journal_on": lambda: _drain_hooked(journal_on, domain.query, utility),
+        "tracing_on": lambda: _drain_hooked(tracing_on, domain.query, utility),
+    }
+    samples: dict[str, list[float]] = {name: [] for name in variants}
+    for _round in range(rounds):
+        journal_on.journal.reset()  # keep the buffer from growing round over round
+        for name, fn in variants.items():
+            with Stopwatch() as watch:
+                for _ in range(repeats):
+                    fn()
+            samples[name].append(watch.elapsed / repeats)
+    medians = {name: statistics.median(times) for name, times in samples.items()}
+    control = medians["control"]
+    section: dict[str, object] = {
+        "rounds": rounds,
+        "repeats": repeats,
+        "batches": hooked_batches,
+        "control_batches": control_batches,
+        "control_median_s": control,
+    }
+    for name in ("journal_off", "journal_on", "tracing_on"):
+        section[f"{name}_median_s"] = medians[name]
+        section[f"{name}_ratio"] = (
+            medians[name] / control if control > 0 else 1.0
+        )
+    return section
+
+
+# -- service latency under load ---------------------------------------------------
+
+
+def _service_section(seed: int, requests: int, concurrency: int) -> dict:
+    domain = movie_domain()
+    journal = EventJournal()
+    service = QueryService(
+        domain.catalog,
+        domain.source_facts,
+        measures={"linear": LinearCost},
+        config=ServiceConfig(max_concurrent=concurrency, backlog=requests + 1),
+        journal=journal,
+    )
+    mix = build_query_mix(
+        domain.catalog, 6, seed=seed, include=domain.query
+    )
+    queries = [parse_query(text) for text in mix]
+    with service:
+        with Stopwatch() as watch:
+            pendings = [
+                service.submit(
+                    QueryRequest(
+                        queries[index % len(queries)],
+                        request_id=f"profile-{index}",
+                    )
+                )
+                for index in range(requests)
+            ]
+            results = [pending.wait(timeout=120.0) for pending in pendings]
+    first = [
+        result.report.first_answer_s
+        for result in results
+        if result.report is not None
+        and result.report.first_answer_s is not None
+    ]
+    total = [
+        result.report.elapsed_s
+        for result in results
+        if result.report is not None
+    ]
+    completed = sum(1 for result in results if result.ok)
+    journal.validate()
+    return {
+        "requests": requests,
+        "concurrency": concurrency,
+        "completed": completed,
+        "duration_s": watch.elapsed,
+        "throughput_rps": completed / watch.elapsed if watch.elapsed else 0.0,
+        "first_answer": {
+            "count": len(first),
+            "p50_s": percentile(first, 0.50),
+            "p90_s": percentile(first, 0.90),
+            "p99_s": percentile(first, 0.99),
+        },
+        "total": {
+            "count": len(total),
+            "p50_s": percentile(total, 0.50),
+            "p90_s": percentile(total, 0.90),
+            "p99_s": percentile(total, 0.99),
+        },
+        "journal_events": len(journal),
+    }
+
+
+# -- deterministic fingerprint ----------------------------------------------------
+
+
+def _deterministic_section(seed: int) -> dict:
+    """Timing-free facts a fixed seed must always reproduce."""
+    domain = movie_domain()
+    journal = EventJournal()
+    mediator = Mediator(domain.catalog, domain.source_facts, journal=journal)
+    utility = LinearCost()
+    batches = list(
+        mediator.answer(
+            domain.query, utility,
+            orderer=GreedyOrderer(utility), request_id="fingerprint",
+        )
+    )
+    journal.validate()
+    answers = sorted(
+        {row for batch in batches for row in batch.new_answers}
+    )
+    digest = hashlib.sha256(repr(answers).encode("utf-8")).hexdigest()
+    events_by_type: dict[str, int] = {}
+    for record in journal.events():
+        events_by_type[record["event"]] = (
+            events_by_type.get(record["event"], 0) + 1
+        )
+    mix = build_query_mix(domain.catalog, 6, seed=seed, include=domain.query)
+    mix_digest = hashlib.sha256("\n".join(mix).encode("utf-8")).hexdigest()
+    return {
+        "plans": len(batches),
+        "sound_plans": sum(1 for batch in batches if batch.sound),
+        "answers": len(answers),
+        "answer_sha256": digest,
+        "query_mix_sha256": mix_digest,
+        "journal_events": events_by_type,
+    }
+
+
+# -- entry points -----------------------------------------------------------------
+
+
+def run_profile(
+    *,
+    seed: int = 0,
+    quick: bool = False,
+    rounds: Optional[int] = None,
+    timestamp: Optional[str] = None,
+) -> dict:
+    """Run every section and return the baseline document.
+
+    ``quick`` trims rounds and request counts for tests and local
+    smoke runs; CI uses the defaults.  ``timestamp`` is caller-
+    supplied metadata (the harness itself never reads a clock, so two
+    runs of the same build differ only in the timing numbers).
+    """
+    rounds = rounds if rounds is not None else (3 if quick else 7)
+    repeats = 3 if quick else 10
+    requests = 8 if quick else 32
+    payload: dict[str, object] = {
+        "schema": BASELINE_SCHEMA_VERSION,
+        "seed": seed,
+        "quick": quick,
+        "ordering": _ordering_section(
+            seed, rounds=rounds, k=10 if quick else 25
+        ),
+        "overhead": _overhead_section(rounds=rounds, repeats=repeats),
+        "service": _service_section(seed, requests=requests, concurrency=4),
+        "deterministic": _deterministic_section(seed),
+    }
+    if timestamp is not None:
+        payload["timestamp"] = timestamp
+    return payload
+
+
+def check_profile(
+    payload: dict, *, max_overhead: float = MAX_JOURNAL_OFF_OVERHEAD
+) -> list[str]:
+    """Regression findings in a baseline document; empty means pass.
+
+    The hard CI gate: disabled journal hooks on the mediator loop may
+    cost at most ``max_overhead`` (fractional) over the hook-free
+    control loop; and the control loop must still be the same
+    computation as the hooked one (equal batch counts), otherwise the
+    ratio proves nothing.
+    """
+    problems: list[str] = []
+    overhead = payload.get("overhead")
+    if not isinstance(overhead, dict):
+        return ["baseline document has no overhead section"]
+    if overhead.get("batches") != overhead.get("control_batches"):
+        problems.append(
+            "control loop diverged from Mediator.answer: "
+            f"{overhead.get('control_batches')} batches vs "
+            f"{overhead.get('batches')} — the overhead ratio is invalid"
+        )
+    ratio = overhead.get("journal_off_ratio")
+    limit = 1.0 + max_overhead
+    if not isinstance(ratio, (int, float)):
+        problems.append("overhead section has no journal_off_ratio")
+    elif ratio > limit:
+        problems.append(
+            f"journal hooks cost {(ratio - 1.0) * 100:.1f}% with the journal "
+            f"disabled (limit {max_overhead * 100:.0f}%): "
+            f"{overhead.get('journal_off_median_s')}s vs "
+            f"{overhead.get('control_median_s')}s control"
+        )
+    return problems

@@ -11,12 +11,24 @@ Three pieces:
   ``OrderingStats`` is now a view over such a registry;
 * :mod:`repro.observability.caching` — :class:`CachingUtilityMeasure`,
   an exact memoization wrapper for utility measures reporting
-  hit/miss counters through the registry.
+  hit/miss counters through the registry;
+* :mod:`repro.observability.journal` — :class:`EventJournal`, the
+  thread-safe JSON-lines event stream with request correlation ids
+  (:data:`NOOP_JOURNAL` is the default everywhere);
+* :mod:`repro.observability.prometheus` — text-format exposition of a
+  registry for scrapers (:func:`render_registry`).
 
 See ``docs/observability.md`` for usage.
 """
 
 from repro.observability.caching import CachingUtilityMeasure
+from repro.observability.journal import (
+    EVENT_SCHEMA,
+    EventJournal,
+    NOOP_JOURNAL,
+    validate_event,
+)
+from repro.observability.prometheus import render_export, render_registry
 from repro.observability.metrics import (
     Counter,
     Gauge,
@@ -34,12 +46,18 @@ from repro.observability.tracing import (
 __all__ = [
     "CachingUtilityMeasure",
     "Counter",
+    "EVENT_SCHEMA",
+    "EventJournal",
     "Gauge",
     "Histogram",
     "MetricRegistry",
+    "NOOP_JOURNAL",
     "NOOP_TRACER",
     "Span",
     "SpanStats",
     "Stopwatch",
     "Tracer",
+    "render_export",
+    "render_registry",
+    "validate_event",
 ]

@@ -1,0 +1,286 @@
+"""The structured event journal: one correlated stream per request.
+
+The tracer and the metric registry aggregate; they answer "how much"
+but not "what happened, in which order, to which request".  The
+:class:`EventJournal` is the third leg: a thread-safe JSON-lines
+emitter recording discrete lifecycle events — a query arriving at the
+TCP front end, the service admitting it, every plan the session
+processes (executed / skipped / failed / unsound), each retry, each
+breaker transition, and the answer-progress marks the anytime argument
+is judged on (time-to-first-answer, time-to-k-th-answer).
+
+Every event carries a **request correlation id** so one ``grep`` (or
+:meth:`EventJournal.events`) reconstructs a request's entire path
+through frontend → server → session → mediator → resilience.  Plan
+events additionally carry the plan's ``rank``, correlating them with
+the wire-protocol batch records.
+
+Journalling is opt-in exactly like tracing: the module-level
+:data:`NOOP_JOURNAL` is the default everywhere, its :meth:`emit`
+returns after a single attribute check, and hot paths with several
+fields to assemble guard on ``journal.enabled`` first.  Events are
+kept in memory (bounded by ``capacity``) and optionally mirrored to a
+JSON-lines stream as they happen, so a crash loses nothing already
+flushed.
+
+The event vocabulary is closed: :data:`EVENT_SCHEMA` names every
+event type and the fields it must carry, and :func:`validate_event`
+enforces it — the schema is a contract with external log tooling, not
+documentation that drifts.  See ``docs/observability.md`` for the
+rendered table.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import IO, Iterator, Optional
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "EventJournal",
+    "NOOP_JOURNAL",
+    "validate_event",
+]
+
+#: Required fields per event type, *beyond* the envelope fields
+#: (``event``, ``seq``, ``ts``, ``request_id``) every record carries.
+#: Extra fields are allowed; missing required ones are a bug.
+EVENT_SCHEMA: dict[str, frozenset[str]] = {
+    # -- request lifecycle (frontend + server) --------------------------------
+    "request.received": frozenset({"query"}),
+    "request.admitted": frozenset({"measure", "orderer"}),
+    "request.rejected": frozenset({"code", "message"}),
+    "request.completed": frozenset(
+        {"status", "plans", "answers", "elapsed_s", "first_answer_s"}
+    ),
+    # -- per-plan lifecycle (session + mediator) ------------------------------
+    "plan.emitted": frozenset({"rank", "plan", "utility", "sound"}),
+    "plan.executed": frozenset({"rank", "answers", "new_answers", "execute_s"}),
+    "plan.unsound": frozenset({"rank"}),
+    "plan.skipped": frozenset({"rank", "sources"}),
+    "plan.failed": frozenset({"rank", "error"}),
+    "plan.retry": frozenset({"rank", "attempt", "delay_s"}),
+    # -- answer progress (the anytime quantities) -----------------------------
+    "answer.first": frozenset({"rank", "elapsed_s"}),
+    "answer.progress": frozenset({"rank", "answers", "elapsed_s"}),
+    # -- resilience -----------------------------------------------------------
+    "source.failure": frozenset({"sources", "error"}),
+    "breaker.transition": frozenset({"source", "from_state", "to_state"}),
+}
+
+#: Envelope fields present on every record.
+ENVELOPE_FIELDS = ("event", "seq", "ts", "request_id")
+
+
+def validate_event(record: dict) -> None:
+    """Raise :class:`~repro.errors.ObservabilityError` on a bad record.
+
+    A record is valid when it carries the full envelope, names a known
+    event type, and has every field that type requires.
+    """
+    for field in ENVELOPE_FIELDS:
+        if field not in record:
+            raise ObservabilityError(
+                f"journal record missing envelope field {field!r}: {record!r}"
+            )
+    event = record["event"]
+    required = EVENT_SCHEMA.get(event)
+    if required is None:
+        raise ObservabilityError(
+            f"unknown journal event type {event!r}; "
+            f"known: {', '.join(sorted(EVENT_SCHEMA))}"
+        )
+    missing = sorted(required - record.keys())
+    if missing:
+        raise ObservabilityError(
+            f"journal event {event!r} missing fields {missing}: {record!r}"
+        )
+
+
+class EventJournal:
+    """Thread-safe, bounded, optionally streaming event recorder.
+
+    ``capacity`` bounds the in-memory buffer (oldest events are
+    dropped once exceeded — the stream sink, if any, keeps the full
+    history).  ``stream`` is any text-file-like object; each event is
+    written as one JSON line and flushed, so ``tail -f`` works.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        capacity: int = 100_000,
+        stream: Optional[IO[str]] = None,
+        clock=time.time,
+    ) -> None:
+        if capacity < 1:
+            raise ObservabilityError(f"capacity must be >= 1, got {capacity}")
+        self.enabled = enabled
+        self.capacity = capacity
+        self.clock = clock
+        self._stream = stream
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+        self._seq = 0
+        self._dropped = 0
+
+    # -- emission ----------------------------------------------------------------
+
+    def emit(self, event: str, *, request_id: str = "", **fields: object) -> None:
+        """Record one event (no-op when disabled).
+
+        The envelope (``seq``, ``ts``, ``request_id``) is added here;
+        ``seq`` is a process-unique monotonically increasing integer,
+        so merged journals from several components still sort into one
+        coherent timeline.
+        """
+        if not self.enabled:
+            return
+        record: dict = {"event": event, "request_id": request_id}
+        record.update(fields)
+        with self._lock:
+            self._seq += 1
+            record["seq"] = self._seq
+            record["ts"] = self.clock()
+            self._events.append(record)
+            if len(self._events) > self.capacity:
+                del self._events[0]
+                self._dropped += 1
+            stream = self._stream
+            if stream is not None:
+                stream.write(json.dumps(record, sort_keys=True, default=str))
+                stream.write("\n")
+                stream.flush()
+
+    def bind(self, request_id: str) -> "BoundJournal":
+        """A view that stamps *request_id* on every emitted event."""
+        return BoundJournal(self, request_id)
+
+    # -- introspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the in-memory buffer (capacity overflow)."""
+        with self._lock:
+            return self._dropped
+
+    def events(
+        self,
+        *,
+        request_id: Optional[str] = None,
+        event: Optional[str] = None,
+    ) -> list[dict]:
+        """A snapshot of recorded events, optionally filtered."""
+        with self._lock:
+            snapshot = list(self._events)
+        return [
+            dict(record)
+            for record in snapshot
+            if (request_id is None or record.get("request_id") == request_id)
+            and (event is None or record.get("event") == event)
+        ]
+
+    def request_ids(self) -> list[str]:
+        """Distinct non-empty correlation ids, in first-seen order."""
+        with self._lock:
+            snapshot = list(self._events)
+        seen: dict[str, None] = {}
+        for record in snapshot:
+            rid = record.get("request_id")
+            if rid:
+                seen.setdefault(str(rid), None)
+        return list(seen)
+
+    def validate(self) -> None:
+        """Validate every buffered event against :data:`EVENT_SCHEMA`."""
+        for record in self.events():
+            validate_event(record)
+
+    # -- export ------------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """The buffered events as newline-terminated JSON lines."""
+        lines = [
+            json.dumps(record, sort_keys=True, default=str)
+            for record in self.events()
+        ]
+        return "".join(line + "\n" for line in lines)
+
+    def write(self, path: str) -> int:
+        """Write the buffer as a JSON-lines file; returns event count."""
+        events = self.events()
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in events:
+                handle.write(json.dumps(record, sort_keys=True, default=str))
+                handle.write("\n")
+        return len(events)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._dropped = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<EventJournal enabled={self.enabled} events={len(self)} "
+            f"dropped={self.dropped}>"
+        )
+
+
+class BoundJournal:
+    """A journal view with the request correlation id pre-filled.
+
+    Everything a session or mediator needs: ``emit`` (without having
+    to thread the id through every call site) and the ``enabled``
+    guard for hot paths.  Binding a bound journal re-binds (the new id
+    wins), so nesting is harmless.
+    """
+
+    __slots__ = ("_journal", "request_id")
+
+    def __init__(self, journal: EventJournal, request_id: str) -> None:
+        self._journal = journal
+        self.request_id = request_id
+
+    @property
+    def enabled(self) -> bool:
+        return self._journal.enabled
+
+    def emit(self, event: str, **fields: object) -> None:
+        self._journal.emit(event, request_id=self.request_id, **fields)
+
+    def bind(self, request_id: str) -> "BoundJournal":
+        return BoundJournal(self._journal, request_id)
+
+    def __repr__(self) -> str:
+        return f"<BoundJournal {self.request_id!r} of {self._journal!r}>"
+
+
+def read_jsonl(lines: Iterator[str] | list[str]) -> list[dict]:
+    """Parse journal JSON lines back into records (tooling helper)."""
+    records = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(f"bad journal line {line!r}: {exc}") from None
+        if not isinstance(record, dict):
+            raise ObservabilityError(f"journal line is not an object: {line!r}")
+        records.append(record)
+    return records
+
+
+#: The default journal: permanently disabled, shared by everyone.
+NOOP_JOURNAL = EventJournal(enabled=False)

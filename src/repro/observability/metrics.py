@@ -110,6 +110,43 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """The *q*-quantile (0..1) estimated from the bucket counts.
+
+        Standard Prometheus-style estimation: find the bucket the
+        target rank falls into, then interpolate linearly inside it.
+        The estimate is clamped to the observed ``[min, max]`` so tiny
+        samples do not report a p99 beyond anything ever seen, and the
+        overflow bucket reports ``max`` (its upper edge is infinite).
+        Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bound in enumerate(self.bounds):
+            in_bucket = self.bucket_counts[index]
+            if in_bucket > 0 and cumulative + in_bucket >= rank:
+                if index > 0:
+                    lower = self.bounds[index - 1]
+                else:
+                    lower = 0.0 if self.min >= 0.0 else self.min
+                fraction = (rank - cumulative) / in_bucket
+                estimate = lower + (bound - lower) * fraction
+                return min(max(estimate, self.min), self.max)
+            cumulative += in_bucket
+        return self.max
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard latency trio: p50/p90/p99."""
+        return {
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
     def as_dict(self) -> dict[str, object]:
         return {
             "kind": self.kind,
@@ -118,6 +155,7 @@ class Histogram:
             "mean": self.mean,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
+            **self.percentiles(),
             "buckets": {
                 **{f"le_{bound:g}": count
                    for bound, count in zip(self.bounds, self.bucket_counts)},

@@ -78,6 +78,23 @@ class SpanStats:
         if attributes:
             self.attributes.update(attributes)
 
+    def absorb(self, payload: dict) -> None:
+        """Fold another tracer's exported stats for this path in.
+
+        *payload* is one value of :meth:`Tracer.as_dict` — ``mean_s``
+        is derived and ignored; calls/total add, min/max extend.
+        """
+        calls = int(payload.get("calls", 0))
+        if calls <= 0:
+            return
+        self.calls += calls
+        self.total_s += float(payload.get("total_s", 0.0))
+        self.min_s = min(self.min_s, float(payload.get("min_s", float("inf"))))
+        self.max_s = max(self.max_s, float(payload.get("max_s", 0.0)))
+        attributes = payload.get("attributes")
+        if attributes:
+            self.attributes.update(attributes)
+
     def as_dict(self) -> dict[str, object]:
         payload: dict[str, object] = {
             "calls": self.calls,
@@ -168,6 +185,27 @@ class Tracer:
         if stats is None:
             stats = self._spans[span.path] = SpanStats(span.path)
         stats.record(span.elapsed, span.attributes)
+
+    # -- merging ----------------------------------------------------------------
+
+    def merge(self, other: "Tracer | dict[str, dict]") -> "Tracer":
+        """Fold another tracer's spans (or its export) into this one.
+
+        Spans are not thread-safe to *record* concurrently, so each
+        worker thread owns a private tracer and the single consumer
+        merges the exports once the workers have quiesced — see
+        ``PipelinedSession``.  Same-path stats aggregate (calls and
+        totals add, min/max extend); ``prefix`` nesting is the
+        caller's job (worker spans already carry their full path).
+        Returns ``self`` for chaining.
+        """
+        exported = other.as_dict() if isinstance(other, Tracer) else other
+        for path, payload in exported.items():
+            stats = self._spans.get(path)
+            if stats is None:
+                stats = self._spans[path] = SpanStats(path)
+            stats.absorb(payload)
+        return self
 
     # -- introspection ----------------------------------------------------------
 

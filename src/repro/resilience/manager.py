@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.errors import PermanentSourceError
+from repro.observability.journal import EventJournal, NOOP_JOURNAL
 from repro.observability.metrics import MetricRegistry
 from repro.resilience.breaker import BreakerBoard
 from repro.resilience.health import SourceHealthTracker
@@ -51,9 +52,14 @@ class ResilienceManager:
         graceful: bool = True,
         breakers: bool = True,
         min_observations: int = 3,
+        journal: Optional[EventJournal] = None,
     ) -> None:
         registry = registry if registry is not None else MetricRegistry()
         self.registry = registry
+        #: Event journal for breaker transitions and source failures;
+        #: the optional ``request_id`` kwargs on the recording methods
+        #: stamp events with the request that triggered them.
+        self.journal = journal if journal is not None else NOOP_JOURNAL
         self.tracker = (
             tracker
             if tracker is not None
@@ -74,27 +80,62 @@ class ResilienceManager:
     def sources_of(plan: PlanLike) -> tuple[str, ...]:
         return tuple(dict.fromkeys(source.name for source in plan.sources))
 
-    def admit(self, plan: PlanLike) -> tuple[str, ...]:
-        """Blocking source names for *plan*; empty means admitted."""
+    def admit(self, plan: PlanLike, *, request_id: str = "") -> tuple[str, ...]:
+        """Blocking source names for *plan*; empty means admitted.
+
+        An admission probe can itself transition breakers (open →
+        half-open once the cooldown elapses), so transitions are
+        journaled here too.  ``request_id`` correlates those events
+        with the request whose plan probed the breaker.
+        """
         if not self.breakers:
             return ()
-        return self.board.admit(self.sources_of(plan))
+        before = self.board.states() if self.journal.enabled else {}
+        blocked = self.board.admit(self.sources_of(plan))
+        self._journal_transitions(before, request_id)
+        return blocked
 
     # -- outcome recording -------------------------------------------------------
 
+    def _journal_transitions(
+        self, before: dict[str, str], request_id: str
+    ) -> None:
+        """Emit ``breaker.transition`` for every state change vs *before*."""
+        if not self.journal.enabled:
+            return
+        after = self.board.states()
+        for source, state in after.items():
+            previous = before.get(source, "closed")
+            if state != previous:
+                self.journal.emit(
+                    "breaker.transition",
+                    request_id=request_id,
+                    source=source,
+                    from_state=previous,
+                    to_state=state,
+                )
+
     def record_success(
-        self, sources: Iterable[str], latency_s: float = 0.0
+        self,
+        sources: Iterable[str],
+        latency_s: float = 0.0,
+        *,
+        request_id: str = "",
     ) -> None:
         """One successful plan execution touching *sources*."""
+        before = self.board.states() if self.journal.enabled else {}
         for source in sources:
             self.tracker.record_success(source, latency_s)
             self.board.record_success(source)
+        self._journal_transitions(before, request_id)
 
     def record_failure(
         self,
         sources: Iterable[str],
         error: Optional[BaseException] = None,
         latency_s: float = 0.0,
+        *,
+        request_id: str = "",
     ) -> None:
         """One failed execution attempt of a plan touching *sources*.
 
@@ -105,9 +146,18 @@ class ResilienceManager:
         blamed = getattr(error, "source", None)
         permanent = isinstance(error, PermanentSourceError)
         targets = (blamed,) if blamed is not None else tuple(sources)
+        before = self.board.states() if self.journal.enabled else {}
         for source in targets:
             self.tracker.record_failure(source, latency_s)
             self.board.record_failure(source, permanent=permanent)
+        if self.journal.enabled:
+            self.journal.emit(
+                "source.failure",
+                request_id=request_id,
+                sources=list(targets),
+                error=type(error).__name__ if error is not None else "",
+            )
+        self._journal_transitions(before, request_id)
 
     # -- views -------------------------------------------------------------------
 

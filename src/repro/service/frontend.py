@@ -63,6 +63,15 @@ class _Handler(socketserver.StreamRequestHandler):
                 request = dataclasses.replace(
                     request, request_id=service.next_request_id()
                 )
+            if service.journal.enabled:
+                # The first event of a request's lifecycle: here the
+                # wire-level id and the service-level correlation id
+                # become the same thing.
+                service.journal.emit(
+                    "request.received",
+                    request_id=request.request_id,
+                    query=str(request.query),
+                )
 
             def on_batch(batch, _id=request.request_id):
                 # Invoked from the dispatcher thread; the handler

@@ -53,12 +53,14 @@ def percentile(values: list[float], q: float) -> float:
 
 @dataclass
 class LatencySummary:
-    """p50/p95/max/mean over one latency series (seconds)."""
+    """Latency percentiles (p50/p90/p95/p99) over one series (seconds)."""
 
     count: int = 0
     mean: float = 0.0
     p50: float = 0.0
+    p90: float = 0.0
     p95: float = 0.0
+    p99: float = 0.0
     max: float = 0.0
 
     @classmethod
@@ -69,7 +71,9 @@ class LatencySummary:
             count=len(values),
             mean=sum(values) / len(values),
             p50=percentile(values, 0.50),
+            p90=percentile(values, 0.90),
             p95=percentile(values, 0.95),
+            p99=percentile(values, 0.99),
             max=max(values),
         )
 
@@ -78,7 +82,9 @@ class LatencySummary:
             "count": self.count,
             "mean_s": self.mean,
             "p50_s": self.p50,
+            "p90_s": self.p90,
             "p95_s": self.p95,
+            "p99_s": self.p99,
             "max_s": self.max,
         }
 
@@ -156,8 +162,9 @@ class LoadReport:
         ):
             lines.append(
                 f"{label + ' latency [s]':<24} "
-                f"p50={summary.p50:.4f} p95={summary.p95:.4f} "
-                f"max={summary.max:.4f} mean={summary.mean:.4f}"
+                f"p50={summary.p50:.4f} p90={summary.p90:.4f} "
+                f"p95={summary.p95:.4f} p99={summary.p99:.4f} "
+                f"max={summary.max:.4f}"
             )
         if self.answers_partial or self.plans_skipped or self.plans_failed:
             skipped = ",".join(sorted(self.sources_skipped)) or "-"

@@ -45,7 +45,9 @@ from repro.errors import (
 from repro.datalog.query import ConjunctiveQuery
 from repro.execution.mediator import AnswerBatch, Mediator
 from repro.observability.caching import CachingUtilityMeasure
+from repro.observability.journal import EventJournal, NOOP_JOURNAL
 from repro.observability.metrics import MetricRegistry
+from repro.observability.prometheus import render_registry
 from repro.observability.tracing import Tracer
 from repro.ordering.bruteforce import ExhaustiveOrderer, PIOrderer
 from repro.ordering.greedy import GreedyOrderer
@@ -173,14 +175,25 @@ class QueryService:
         registry: Optional[MetricRegistry] = None,
         backend: Optional[ExecutionBackend] = None,
         resilience: Optional[ResilienceManager] = None,
+        journal: Optional[EventJournal] = None,
     ) -> None:
         self.config = config if config is not None else ServiceConfig()
         self.registry = registry if registry is not None else MetricRegistry()
         #: Shared across all requests: sessions consult its breakers
         #: and feed its health tracker (threaded in via the mediator).
         self.resilience = resilience
+        #: One journal for the whole service; every event a request
+        #: causes — here, in sessions, in the mediator, and in the
+        #: resilience manager — carries that request's id.
+        self.journal = journal if journal is not None else NOOP_JOURNAL
+        if resilience is not None and not resilience.journal.enabled:
+            resilience.journal = self.journal
         self.mediator = Mediator(
-            catalog, source_facts, registry=self.registry, resilience=resilience
+            catalog,
+            source_facts,
+            registry=self.registry,
+            resilience=resilience,
+            journal=self.journal,
         )
         self.backend = backend
         self._measure_factories: dict[str, Callable[[], UtilityMeasure]] = dict(
@@ -297,6 +310,22 @@ class QueryService:
     def next_request_id(self) -> str:
         return f"req-{next(self._ids)}"
 
+    # -- exposition --------------------------------------------------------------
+
+    def prometheus_text(self) -> str:
+        """Every metric this service owns as Prometheus text.
+
+        The service registry always renders; a resilience manager built
+        over its *own* registry (the CLI's chaos setup does this)
+        contributes its metrics too, so one scrape sees breaker-state
+        gauges alongside the ``service.*`` series.
+        """
+        text = render_registry(self.registry)
+        resilience = self.resilience
+        if resilience is not None and resilience.registry is not self.registry:
+            text += render_registry(resilience.registry)
+        return text
+
     # -- execution ---------------------------------------------------------------
 
     def execute(
@@ -318,11 +347,25 @@ class QueryService:
             admit_timeout = min(admit_timeout, policy.deadline_s)
         if not self._semaphore.acquire(timeout=admit_timeout):
             self._m_rejected.inc()
+            if self.journal.enabled:
+                self.journal.emit(
+                    "request.rejected",
+                    request_id=request_id,
+                    code="admission_timeout",
+                    message="admission timeout",
+                )
             return RequestResult(
                 request_id, "rejected", error="admission timeout"
             )
         self._m_accepted.inc()
         self._g_active.inc()
+        if self.journal.enabled:
+            self.journal.emit(
+                "request.admitted",
+                request_id=request_id,
+                measure=request.measure or self.config.default_measure,
+                orderer=request.orderer or self.config.default_orderer,
+            )
         try:
             return self._run_admitted(request, request_id, policy, on_batch)
         finally:
@@ -355,7 +398,11 @@ class QueryService:
             batches: list[AnswerBatch] = []
             answers: set = set()
             for batch in session.stream(
-                request.query, utility, orderer=orderer, policy=policy
+                request.query,
+                utility,
+                orderer=orderer,
+                policy=policy,
+                request_id=request_id,
             ):
                 batches.append(batch)
                 answers.update(batch.new_answers)
@@ -368,6 +415,16 @@ class QueryService:
                 )
         except ReproError as exc:
             self._m_errors.inc()
+            if self.journal.enabled:
+                self.journal.emit(
+                    "request.completed",
+                    request_id=request_id,
+                    status="error",
+                    plans=0,
+                    answers=0,
+                    elapsed_s=0.0,
+                    first_answer_s=None,
+                )
             return RequestResult(request_id, "error", error=str(exc))
         result = RequestResult(
             request_id,
@@ -387,6 +444,16 @@ class QueryService:
             if report.first_answer_s is not None:
                 self._h_first.observe(report.first_answer_s)
             self._h_total.observe(report.elapsed_s)
+        if self.journal.enabled:
+            self.journal.emit(
+                "request.completed",
+                request_id=request_id,
+                status=report.status,
+                plans=report.plans_processed,
+                answers=report.answers,
+                elapsed_s=report.elapsed_s,
+                first_answer_s=report.first_answer_s,
+            )
         return result
 
     # -- queued path -------------------------------------------------------------
@@ -410,6 +477,13 @@ class QueryService:
         except Full:
             self._m_requests.inc()
             self._m_rejected.inc()
+            if self.journal.enabled:
+                self.journal.emit(
+                    "request.rejected",
+                    request_id=request.request_id,
+                    code="overloaded",
+                    message=f"work queue full ({self.config.backlog} pending)",
+                )
             raise ServiceOverloadedError(
                 f"work queue full ({self.config.backlog} pending requests)"
             ) from None

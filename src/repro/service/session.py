@@ -47,6 +47,7 @@ from repro.errors import (
 )
 from repro.datalog.query import ConjunctiveQuery
 from repro.execution.mediator import AnswerBatch, Mediator
+from repro.observability.journal import EventJournal
 from repro.observability.metrics import MetricRegistry
 from repro.observability.tracing import NOOP_TRACER, Stopwatch, Tracer
 from repro.ordering.base import PlanOrderer
@@ -190,6 +191,7 @@ class PipelinedSession:
         tracer: Optional[Tracer] = None,
         registry: Optional[MetricRegistry] = None,
         resilience: Optional[ResilienceManager] = None,
+        journal: Optional[EventJournal] = None,
     ) -> None:
         if executor_workers < 1:
             raise ExecutionError("executor_workers must be at least 1")
@@ -202,6 +204,7 @@ class PipelinedSession:
         self.policy = policy if policy is not None else RequestPolicy()
         self.tracer = tracer if tracer is not None else mediator.tracer
         self.registry = registry if registry is not None else mediator.registry
+        self.journal = journal if journal is not None else mediator.journal
         self.resilience = (
             resilience
             if resilience is not None
@@ -221,6 +224,7 @@ class PipelinedSession:
         *,
         orderer: Optional[PlanOrderer] = None,
         policy: Optional[RequestPolicy] = None,
+        request_id: str = "",
     ) -> Iterator[AnswerBatch]:
         """Yield answer batches in emission order, pipelined.
 
@@ -228,7 +232,9 @@ class PipelinedSession:
         same order, same batches) with ordering, soundness, and
         execution overlapped across threads.  After the generator
         finishes (or is closed early), :attr:`last_report` describes
-        the run.
+        the run.  ``request_id`` correlates this run's journal events
+        (emitted from the producer, executor, and consumer threads —
+        the journal serializes them with one global ``seq``).
         """
         mediator = self.mediator
         resilience = self.resilience
@@ -237,6 +243,7 @@ class PipelinedSession:
         token = policy.token()
         report = SessionReport()
         self.last_report = report
+        journal = self.journal.bind(request_id)
         watch = Stopwatch().start()
 
         with self.tracer.span("service.reformulate"):
@@ -292,6 +299,14 @@ class PipelinedSession:
                     executable = plan_query(query, ordered.plan)
                     sound = executable is not None
                     soundness[ordered.plan.key] = sound
+                    if journal.enabled:
+                        journal.emit(
+                            "plan.emitted",
+                            rank=ordered.rank,
+                            plan=list(ordered.plan.key),
+                            utility=ordered.utility,
+                            sound=sound,
+                        )
                     produced += 1
                     if not put_abortable(_WorkItem(ordered, sound, executable)):
                         produced -= 1
@@ -306,7 +321,7 @@ class PipelinedSession:
                     if not put_abortable(_DONE):
                         break
 
-        def execute_with_retries(item: _WorkItem) -> None:
+        def execute_with_retries(item: _WorkItem, tracer: Tracer) -> None:
             attempts = 0
             sources = (
                 ResilienceManager.sources_of(item.ordered.plan)
@@ -316,19 +331,23 @@ class PipelinedSession:
             while True:
                 attempts += 1
                 try:
-                    with Stopwatch() as attempt_watch:
-                        item.answers = self.backend.execute(
-                            item.executable, database
-                        )
+                    with tracer.span("service.worker.execute"):
+                        with Stopwatch() as attempt_watch:
+                            item.answers = self.backend.execute(
+                                item.executable, database
+                            )
                     item.execute_s += attempt_watch.elapsed
                     if resilience is not None:
                         resilience.record_success(
-                            sources, attempt_watch.elapsed
+                            sources, attempt_watch.elapsed,
+                            request_id=request_id,
                         )
                     return
                 except TransientExecutionError as exc:
                     if resilience is not None:
-                        resilience.record_failure(sources, exc)
+                        resilience.record_failure(
+                            sources, exc, request_id=request_id
+                        )
                     if (
                         attempts >= policy.retry.max_attempts
                         or aborted()
@@ -337,6 +356,13 @@ class PipelinedSession:
                         return
                     item.retries += 1
                     delay = policy.retry.delay(attempts)
+                    if journal.enabled:
+                        journal.emit(
+                            "plan.retry",
+                            rank=item.ordered.rank,
+                            attempt=attempts,
+                            delay_s=delay,
+                        )
                     if delay > 0.0:
                         # Sleep on the stop event so shutdown and
                         # cancellation cut the backoff short.
@@ -348,11 +374,13 @@ class PipelinedSession:
                     if resilience is not None and isinstance(
                         exc, ExecutionError
                     ):
-                        resilience.record_failure(sources, exc)
+                        resilience.record_failure(
+                            sources, exc, request_id=request_id
+                        )
                     item.error = exc
                     return
 
-        def work() -> None:
+        def work(tracer: Tracer) -> None:
             while True:
                 try:
                     item = work_q.get(timeout=_TICK_S)
@@ -367,18 +395,28 @@ class PipelinedSession:
                 elif item.sound:
                     if resilience is not None:
                         item.skipped_sources = resilience.admit(
-                            item.ordered.plan
+                            item.ordered.plan, request_id=request_id
                         )
                     if not item.skipped_sources:
-                        execute_with_retries(item)
+                        execute_with_retries(item, tracer)
                 run.publish(item)
 
         producer = threading.Thread(
             target=produce, name="repro-service-producer", daemon=True
         )
+        # Tracers are single-threaded recorders, so every worker gets a
+        # private one; the consumer folds them into the session tracer
+        # after the workers have quiesced (see the ``finally`` below).
+        worker_tracers = [
+            Tracer(enabled=self.tracer.enabled)
+            for _ in range(self.executor_workers)
+        ]
         workers = [
             threading.Thread(
-                target=work, name=f"repro-service-exec-{i}", daemon=True
+                target=work,
+                args=(worker_tracers[i],),
+                name=f"repro-service-exec-{i}",
+                daemon=True,
             )
             for i in range(self.executor_workers)
         ]
@@ -472,10 +510,49 @@ class PipelinedSession:
                 else:
                     report.unsound_plans += 1
                 report.answers = len(seen)
-                if new and report.first_answer_s is None:
+                first_answer = bool(new) and report.first_answer_s is None
+                if first_answer:
                     # stop() leaves the start instant in place, so the
                     # final elapsed_s keeps measuring from the same base.
                     report.first_answer_s = watch.stop()
+                if journal.enabled:
+                    rank = item.ordered.rank
+                    if skipped:
+                        journal.emit(
+                            "plan.skipped",
+                            rank=rank,
+                            sources=list(item.skipped_sources),
+                        )
+                    elif failed:
+                        journal.emit(
+                            "plan.failed",
+                            rank=rank,
+                            error=type(item.error).__name__,
+                        )
+                    elif not batch.sound:
+                        journal.emit("plan.unsound", rank=rank)
+                    else:
+                        journal.emit(
+                            "plan.executed",
+                            rank=rank,
+                            answers=len(item.answers),
+                            new_answers=len(new),
+                            execute_s=item.execute_s,
+                        )
+                        if new:
+                            elapsed = watch.stop()
+                            if first_answer:
+                                journal.emit(
+                                    "answer.first",
+                                    rank=rank,
+                                    elapsed_s=report.first_answer_s,
+                                )
+                            journal.emit(
+                                "answer.progress",
+                                rank=rank,
+                                answers=len(seen),
+                                elapsed_s=elapsed,
+                            )
                 yield batch
                 next_rank += 1
                 if (
@@ -499,6 +576,12 @@ class PipelinedSession:
                 worker.join(timeout=5 * _TICK_S)
             if adopted_tracer:
                 orderer.tracer = NOOP_TRACER
+            if self.tracer.enabled:
+                # Workers have quiesced; their private spans fold into
+                # the session tracer so ``--trace`` reports see them.
+                for worker_tracer in worker_tracers:
+                    if len(worker_tracer):
+                        self.tracer.merge(worker_tracer)
             if resilience is not None:
                 report.breaker_states = resilience.breaker_states()
             report.elapsed_s = watch.stop()
@@ -511,10 +594,14 @@ class PipelinedSession:
         *,
         orderer: Optional[PlanOrderer] = None,
         policy: Optional[RequestPolicy] = None,
+        request_id: str = "",
     ) -> tuple[list[AnswerBatch], SessionReport]:
         """Collect the whole stream; returns (batches, report)."""
         batches = list(
-            self.stream(query, utility, orderer=orderer, policy=policy)
+            self.stream(
+                query, utility,
+                orderer=orderer, policy=policy, request_id=request_id,
+            )
         )
         report = self.last_report
         if report is None:

@@ -480,6 +480,106 @@ class TestBareSleep:
         ) == []
 
 
+# -- COD007: print in library code -------------------------------------------------
+
+
+class TestLibraryPrint:
+    def test_catches_print_in_library_module(self):
+        (finding,) = lint_source(
+            textwrap.dedent(
+                """
+                def drain(batches):
+                    for batch in batches:
+                        print(batch)
+                """
+            ),
+            path="src/repro/service/session.py",
+            select=["COD007"],
+        )
+        assert finding.rule == "COD007"
+        assert "drain()" in finding.message
+        assert "journal" in finding.fix_hint
+
+    def test_module_level_print_caught(self):
+        hits = [
+            d.rule
+            for d in lint_source(
+                'print("import-time banner")\n',
+                path="src/repro/execution/mediator.py",
+                select=["COD007"],
+            )
+        ]
+        assert hits == ["COD007"]
+
+    def test_cli_and_reporters_are_allow_listed(self):
+        for path in (
+            "src/repro/cli.py",
+            "src/repro/__main__.py",
+            "src/repro/experiments/figure6.py",
+            "src/repro/experiments/report.py",
+        ):
+            assert (
+                lint_source(
+                    'print("user-facing output")\n',
+                    path=path,
+                    select=["COD007"],
+                )
+                == []
+            ), path
+
+    def test_windows_separators_still_allow_listed(self):
+        assert (
+            lint_source(
+                'print("x")\n',
+                path="src\\repro\\experiments\\report.py",
+                select=["COD007"],
+            )
+            == []
+        )
+
+    def test_local_print_name_is_still_flagged_but_methods_are_not(self):
+        # Attribute calls like writer.print() are not the builtin.
+        assert (
+            lint_source(
+                textwrap.dedent(
+                    """
+                    def render(writer):
+                        writer.print("ok")
+                    """
+                ),
+                path="src/repro/service/server.py",
+                select=["COD007"],
+            )
+            == []
+        )
+
+    def test_allow_comment_suppresses(self):
+        assert (
+            lint_source(
+                textwrap.dedent(
+                    """
+                    def debug_dump(rows):
+                        # lint: allow[library-print]
+                        print(rows)
+                    """
+                ),
+                path="src/repro/service/server.py",
+                select=["COD007"],
+            )
+            == []
+        )
+
+    def test_repo_library_tree_is_clean(self):
+        """The rule holds on the actual source tree right now."""
+        import pathlib
+
+        from repro.analysis.runner import lint_code
+
+        src = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+        result = lint_code([str(src)], select=["COD007"])
+        assert result.diagnostics == []
+
+
 # -- cross-cutting behaviour -------------------------------------------------------
 
 

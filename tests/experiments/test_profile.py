@@ -1,0 +1,115 @@
+"""Tests for the perf-baseline harness behind ``repro profile``."""
+
+import json
+
+import pytest
+
+from repro.experiments.profile import (
+    BASELINE_SCHEMA_VERSION,
+    check_profile,
+    run_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """One shared quick run; the sections are read-only below."""
+    return run_profile(seed=0, quick=True, rounds=1)
+
+
+class TestRunProfile:
+    def test_document_structure(self, baseline):
+        assert baseline["schema"] == BASELINE_SCHEMA_VERSION
+        assert baseline["seed"] == 0
+        assert baseline["quick"] is True
+        assert set(baseline) >= {
+            "ordering", "overhead", "service", "deterministic",
+        }
+
+    def test_ordering_section(self, baseline):
+        ordering = baseline["ordering"]
+        assert ordering["space_size"] >= ordering["k"] >= 1
+        for orderer in ("greedy", "pi"):
+            assert ordering[orderer]["median_s"] > 0.0
+            assert ordering[orderer]["plans_per_s"] > 0.0
+
+    def test_overhead_section_is_internally_consistent(self, baseline):
+        overhead = baseline["overhead"]
+        # The control loop must be the same computation as the hooked
+        # one, or every ratio in the section is meaningless.
+        assert overhead["batches"] == overhead["control_batches"] > 0
+        assert overhead["control_median_s"] > 0.0
+        for name in ("journal_off", "journal_on", "tracing_on"):
+            assert overhead[f"{name}_median_s"] > 0.0
+            assert overhead[f"{name}_ratio"] > 0.0
+
+    def test_service_section(self, baseline):
+        service = baseline["service"]
+        assert service["completed"] == service["requests"]
+        assert service["throughput_rps"] > 0.0
+        assert service["journal_events"] > 0
+        assert service["first_answer"]["count"] >= 1
+        assert (
+            service["total"]["p50_s"]
+            <= service["total"]["p90_s"]
+            <= service["total"]["p99_s"]
+        )
+
+    def test_timestamp_only_when_supplied(self, baseline):
+        assert "timestamp" not in baseline
+        stamped = {"overhead": dict(baseline["overhead"])}
+        assert "timestamp" not in stamped  # caller adds it, never the harness
+
+    def test_document_is_json_serializable(self, baseline):
+        parsed = json.loads(json.dumps(baseline, sort_keys=True))
+        assert parsed["schema"] == BASELINE_SCHEMA_VERSION
+
+
+class TestDeterministicSection:
+    def test_reproducible_under_fixed_seed(self, baseline):
+        again = run_profile(seed=0, quick=True, rounds=1)
+        assert again["deterministic"] == baseline["deterministic"]
+
+    def test_fingerprint_fields(self, baseline):
+        section = baseline["deterministic"]
+        assert section["plans"] >= section["sound_plans"] >= 1
+        assert section["answers"] >= 1
+        assert len(section["answer_sha256"]) == 64
+        assert len(section["query_mix_sha256"]) == 64
+        assert section["journal_events"].get("plan.emitted", 0) >= 1
+        assert section["journal_events"].get("answer.first") == 1
+
+
+class TestCheckProfile:
+    def test_healthy_document_passes(self, baseline):
+        # Generous bound: the quick run's timings are noisy, but the
+        # structural checks must all pass on a real document.
+        assert check_profile(baseline, max_overhead=5.0) == []
+
+    def test_missing_overhead_section_fails(self):
+        problems = check_profile({})
+        assert problems and "overhead" in problems[0]
+
+    def test_overhead_bound_enforced(self, baseline):
+        doctored = dict(baseline)
+        doctored["overhead"] = dict(baseline["overhead"])
+        doctored["overhead"]["journal_off_ratio"] = 1.5
+        (problem,) = check_profile(doctored, max_overhead=0.05)
+        assert "journal hooks cost" in problem
+        assert "50.0%" in problem
+
+    def test_diverged_control_loop_fails(self, baseline):
+        doctored = dict(baseline)
+        doctored["overhead"] = dict(baseline["overhead"])
+        doctored["overhead"]["control_batches"] = (
+            doctored["overhead"]["batches"] + 1
+        )
+        problems = check_profile(doctored, max_overhead=5.0)
+        assert any("diverged" in problem for problem in problems)
+
+    def test_missing_ratio_fails(self, baseline):
+        doctored = dict(baseline)
+        doctored["overhead"] = dict(baseline["overhead"])
+        del doctored["overhead"]["journal_off_ratio"]
+        problems = check_profile(doctored, max_overhead=5.0)
+        assert any("journal_off_ratio" in problem for problem in problems)

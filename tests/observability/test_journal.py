@@ -1,0 +1,206 @@
+"""Tests for the structured event journal."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability.journal import (
+    ENVELOPE_FIELDS,
+    EVENT_SCHEMA,
+    EventJournal,
+    NOOP_JOURNAL,
+    read_jsonl,
+    validate_event,
+)
+
+#: One representative payload per event type, used to prove the whole
+#: vocabulary round-trips through emit -> validate -> jsonl -> parse.
+SAMPLE_FIELDS: dict[str, dict] = {
+    "request.received": {"query": "q(X) :- rel0(X)"},
+    "request.admitted": {"measure": "linear", "orderer": "greedy"},
+    "request.rejected": {"code": "overloaded", "message": "queue full"},
+    "request.completed": {
+        "status": "ok", "plans": 4, "answers": 7,
+        "elapsed_s": 0.25, "first_answer_s": 0.03,
+    },
+    "plan.emitted": {
+        "rank": 1, "plan": ["v1", "v4"], "utility": 3.5, "sound": True,
+    },
+    "plan.executed": {
+        "rank": 1, "answers": 5, "new_answers": 5, "execute_s": 0.01,
+    },
+    "plan.unsound": {"rank": 2},
+    "plan.skipped": {"rank": 3, "sources": ["v2"]},
+    "plan.failed": {"rank": 4, "error": "TransientExecutionError"},
+    "plan.retry": {"rank": 4, "attempt": 1, "delay_s": 0.05},
+    "answer.first": {"rank": 1, "elapsed_s": 0.03},
+    "answer.progress": {"rank": 1, "answers": 5, "elapsed_s": 0.03},
+    "source.failure": {"sources": ["v2"], "error": "ChaosError"},
+    "breaker.transition": {
+        "source": "v2", "from_state": "closed", "to_state": "open",
+    },
+}
+
+
+class TestSchema:
+    def test_every_event_type_has_a_sample(self):
+        assert set(SAMPLE_FIELDS) == set(EVENT_SCHEMA)
+
+    @pytest.mark.parametrize("event", sorted(EVENT_SCHEMA))
+    def test_schema_round_trip(self, event):
+        """Emit -> validate -> to_jsonl -> read_jsonl, per event type."""
+        journal = EventJournal(clock=lambda: 12.5)
+        journal.emit(event, request_id="req-1", **SAMPLE_FIELDS[event])
+        journal.validate()
+        (record,) = read_jsonl(journal.to_jsonl().splitlines())
+        validate_event(record)
+        assert record["event"] == event
+        assert record["request_id"] == "req-1"
+        assert record["seq"] == 1
+        assert record["ts"] == 12.5
+        for field in EVENT_SCHEMA[event]:
+            assert field in record
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ObservabilityError, match="unknown journal event"):
+            validate_event(
+                {"event": "nope", "seq": 1, "ts": 0.0, "request_id": ""}
+            )
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ObservabilityError, match="missing fields"):
+            validate_event(
+                {"event": "plan.unsound", "seq": 1, "ts": 0.0,
+                 "request_id": ""}
+            )
+
+    def test_missing_envelope_rejected(self):
+        with pytest.raises(ObservabilityError, match="envelope"):
+            validate_event({"event": "plan.unsound", "rank": 1})
+
+    def test_envelope_fields_are_stable(self):
+        # External log tooling greps on these; renaming is a breaking
+        # change that must be deliberate.
+        assert ENVELOPE_FIELDS == ("event", "seq", "ts", "request_id")
+
+
+class TestEventJournal:
+    def test_disabled_emits_nothing(self):
+        journal = EventJournal(enabled=False)
+        journal.emit("plan.unsound", rank=1)
+        assert len(journal) == 0
+
+    def test_noop_journal_is_disabled(self):
+        assert not NOOP_JOURNAL.enabled
+        NOOP_JOURNAL.emit("plan.unsound", rank=1)
+        assert len(NOOP_JOURNAL) == 0
+
+    def test_seq_is_monotonic(self):
+        journal = EventJournal()
+        for rank in range(5):
+            journal.emit("plan.unsound", rank=rank)
+        seqs = [record["seq"] for record in journal.events()]
+        assert seqs == [1, 2, 3, 4, 5]
+
+    def test_capacity_evicts_oldest_and_counts_drops(self):
+        journal = EventJournal(capacity=3)
+        for rank in range(5):
+            journal.emit("plan.unsound", rank=rank)
+        assert len(journal) == 3
+        assert journal.dropped == 2
+        assert [r["rank"] for r in journal.events()] == [2, 3, 4]
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ObservabilityError):
+            EventJournal(capacity=0)
+
+    def test_filtering_by_request_and_event(self):
+        journal = EventJournal()
+        journal.emit("plan.unsound", request_id="a", rank=1)
+        journal.emit("plan.unsound", request_id="b", rank=2)
+        journal.emit("answer.first", request_id="a", rank=1, elapsed_s=0.1)
+        assert len(journal.events(request_id="a")) == 2
+        assert len(journal.events(event="plan.unsound")) == 2
+        assert len(journal.events(request_id="a", event="answer.first")) == 1
+        assert journal.request_ids() == ["a", "b"]
+
+    def test_bind_stamps_request_id(self):
+        journal = EventJournal()
+        bound = journal.bind("req-9")
+        assert bound.enabled
+        bound.emit("plan.unsound", rank=1)
+        (record,) = journal.events()
+        assert record["request_id"] == "req-9"
+
+    def test_bind_rebinding_replaces_id(self):
+        journal = EventJournal()
+        rebound = journal.bind("old").bind("new")
+        rebound.emit("plan.unsound", rank=1)
+        assert journal.events()[0]["request_id"] == "new"
+
+    def test_stream_mirrors_every_event(self):
+        sink = io.StringIO()
+        journal = EventJournal(stream=sink, clock=lambda: 1.0)
+        journal.emit("plan.unsound", request_id="r", rank=1)
+        journal.emit("plan.unsound", request_id="r", rank=2)
+        lines = sink.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        for record in parsed:
+            validate_event(record)
+        assert [r["rank"] for r in parsed] == [1, 2]
+
+    def test_write_and_read_back(self, tmp_path):
+        journal = EventJournal()
+        journal.emit("plan.unsound", request_id="r", rank=1)
+        path = tmp_path / "journal.jsonl"
+        count = journal.write(str(path))
+        assert count == 1
+        records = read_jsonl(path.read_text().splitlines())
+        assert records == journal.events()
+
+    def test_reset_clears_buffer_and_drops(self):
+        journal = EventJournal(capacity=1)
+        journal.emit("plan.unsound", rank=1)
+        journal.emit("plan.unsound", rank=2)
+        assert journal.dropped == 1
+        journal.reset()
+        assert len(journal) == 0
+        assert journal.dropped == 0
+
+    def test_concurrent_emits_lose_nothing(self):
+        journal = EventJournal()
+        per_thread = 200
+
+        def emitter(worker: int) -> None:
+            for rank in range(per_thread):
+                journal.emit(
+                    "plan.unsound", request_id=f"w{worker}", rank=rank
+                )
+
+        threads = [
+            threading.Thread(target=emitter, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(journal) == 4 * per_thread
+        seqs = sorted(r["seq"] for r in journal.events())
+        assert seqs == list(range(1, 4 * per_thread + 1))
+
+
+class TestReadJsonl:
+    def test_blank_lines_skipped(self):
+        assert read_jsonl(["", "  ", '{"event": "x"}']) == [{"event": "x"}]
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ObservabilityError, match="bad journal line"):
+            read_jsonl(["{nope"])
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ObservabilityError, match="not an object"):
+            read_jsonl(["[1, 2]"])

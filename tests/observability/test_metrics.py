@@ -75,6 +75,63 @@ class TestHistogram:
         assert payload["mean"] == 0.0
 
 
+class TestHistogramQuantiles:
+    def test_empty_is_zero(self):
+        assert Histogram("h").quantile(0.5) == 0.0
+
+    def test_out_of_range_rejected(self):
+        histogram = Histogram("h")
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_estimate_clamped_to_observed_range(self):
+        histogram = Histogram("h", bounds=(1.0, 10.0))
+        histogram.observe(2.0)
+        histogram.observe(3.0)
+        # The p99 bucket estimate would interpolate toward 10.0, but
+        # nothing larger than 3.0 was ever observed.
+        assert histogram.quantile(0.99) <= 3.0
+        assert histogram.quantile(0.0) >= 2.0
+
+    def test_overflow_bucket_reports_max(self):
+        histogram = Histogram("h", bounds=(1.0,))
+        histogram.observe(5.0)
+        histogram.observe(7.0)
+        assert histogram.quantile(0.99) == 7.0
+
+    def test_median_on_uniform_sample(self):
+        histogram = Histogram("h", bounds=(0.25, 0.5, 0.75, 1.0))
+        for i in range(100):
+            histogram.observe((i + 1) / 100.0)
+        assert histogram.quantile(0.5) == pytest.approx(0.5, abs=0.05)
+        assert histogram.quantile(0.9) == pytest.approx(0.9, abs=0.05)
+
+    def test_quantiles_monotone(self):
+        histogram = Histogram("h")
+        for i in range(50):
+            histogram.observe(0.001 * (i + 1))
+        p50, p90, p99 = (
+            histogram.quantile(q) for q in (0.5, 0.9, 0.99)
+        )
+        assert p50 <= p90 <= p99
+
+    def test_percentiles_in_as_dict(self):
+        histogram = Histogram("h")
+        histogram.observe(0.2)
+        payload = histogram.as_dict()
+        assert set(payload) >= {"p50", "p90", "p99"}
+        assert payload["p50"] == histogram.quantile(0.5)
+
+    def test_percentiles_in_csv_export(self):
+        registry = MetricRegistry()
+        registry.histogram("lat").observe(0.2)
+        rows = list(csv.reader(io.StringIO(registry.to_csv())))
+        fields = {row[2] for row in rows if row[0] == "lat"}
+        assert {"p50", "p90", "p99"} <= fields
+
+
 class TestMetricRegistry:
     def test_get_or_create_returns_same_object(self):
         registry = MetricRegistry()

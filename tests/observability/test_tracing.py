@@ -104,6 +104,64 @@ class TestTracer:
         assert "fails/after" not in tracer
 
 
+class TestMerge:
+    def test_merge_tracer_adds_same_path_stats(self):
+        main, worker = Tracer(), Tracer()
+        with main.span("execute"):
+            pass
+        for _ in range(2):
+            with worker.span("execute"):
+                pass
+        assert main.merge(worker) is main
+        assert main.get("execute").calls == 3
+
+    def test_merge_brings_in_new_paths(self):
+        main, worker = Tracer(), Tracer()
+        with worker.span("worker.only"):
+            pass
+        main.merge(worker)
+        assert "worker.only" in main
+        assert main.get("worker.only").calls == 1
+
+    def test_merge_accepts_exported_dict(self):
+        main = Tracer()
+        main.merge(
+            {"x": {"calls": 4, "total_s": 2.0, "min_s": 0.1, "max_s": 1.0}}
+        )
+        stats = main.get("x")
+        assert stats.calls == 4
+        assert stats.total_s == pytest.approx(2.0)
+        assert stats.min_s == pytest.approx(0.1)
+        assert stats.max_s == pytest.approx(1.0)
+
+    def test_merge_extends_min_max(self):
+        main = Tracer()
+        main.merge(
+            {"x": {"calls": 1, "total_s": 0.5, "min_s": 0.5, "max_s": 0.5}}
+        )
+        main.merge(
+            {"x": {"calls": 1, "total_s": 0.1, "min_s": 0.1, "max_s": 0.1}}
+        )
+        stats = main.get("x")
+        assert stats.calls == 2
+        assert stats.min_s == pytest.approx(0.1)
+        assert stats.max_s == pytest.approx(0.5)
+
+    def test_zero_call_payload_ignored(self):
+        main = Tracer()
+        main.merge({"x": {"calls": 0, "total_s": 0.0}})
+        stats = main.get("x")
+        # The path exists but carries no samples; min stays pristine.
+        assert stats.calls == 0
+
+    def test_merged_spans_survive_into_table(self):
+        main, worker = Tracer(), Tracer()
+        with worker.span("service.worker.execute"):
+            pass
+        main.merge(worker)
+        assert "service.worker.execute" in main.format_table()
+
+
 class TestNoopTracer:
     def test_disabled_tracer_records_nothing(self):
         tracer = Tracer(enabled=False)

@@ -48,8 +48,13 @@ class TestLatencySummary:
         assert summary.p50 == pytest.approx(0.2)
         assert summary.max == pytest.approx(0.3)
         assert set(summary.as_dict()) == {
-            "count", "mean_s", "p50_s", "p95_s", "max_s",
+            "count", "mean_s", "p50_s", "p90_s", "p95_s", "p99_s", "max_s",
         }
+
+    def test_percentiles_are_ordered(self):
+        summary = LatencySummary.of([float(i) for i in range(1, 101)])
+        assert summary.p50 <= summary.p90 <= summary.p95 <= summary.p99
+        assert summary.p99 <= summary.max
 
 
 class TestQueryMix:
