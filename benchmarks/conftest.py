@@ -12,6 +12,7 @@ from functools import lru_cache
 
 import pytest
 
+from repro.ordering.anyk import AnyKOrderer
 from repro.ordering.bruteforce import ExhaustiveOrderer, PIOrderer
 from repro.ordering.idrips import IDripsOrderer
 from repro.ordering.streamer import StreamerOrderer
@@ -49,6 +50,7 @@ ORDERERS = {
     "iDrips": IDripsOrderer,
     "Streamer": StreamerOrderer,
     "Exhaustive": ExhaustiveOrderer,
+    "AnyK": AnyKOrderer,
 }
 
 

@@ -63,7 +63,13 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Orderer names accepted by ``order --algorithm``, ``simulate
+#: --orderer`` and ``serve --default-orderer``.
+ORDERER_CHOICES = ("pi", "exhaustive", "idrips", "streamer", "greedy", "anyk")
+
+
 def _make_orderer(name: str, utility, **instrumentation):
+    from repro.ordering.anyk import AnyKOrderer
     from repro.ordering.bruteforce import ExhaustiveOrderer, PIOrderer
     from repro.ordering.greedy import GreedyOrderer
     from repro.ordering.idrips import IDripsOrderer
@@ -75,6 +81,7 @@ def _make_orderer(name: str, utility, **instrumentation):
         "idrips": IDripsOrderer,
         "streamer": StreamerOrderer,
         "greedy": GreedyOrderer,
+        "anyk": AnyKOrderer,
     }
     return table[name](utility, **instrumentation)
 
@@ -138,7 +145,6 @@ def _cmd_order(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.execution.simulator import ExecutionSimulator
-    from repro.ordering.bruteforce import PIOrderer
     from repro.workloads.synthetic import SyntheticParams, generate_domain
 
     domain = generate_domain(
@@ -149,9 +155,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
     )
     utility = domain.failure_cost()
+    orderer = _make_orderer(args.orderer, utility)
     ordered = [
-        entry.plan
-        for entry in PIOrderer(utility).order(domain.space, args.k)
+        entry.plan for entry in orderer.order(domain.space, args.k)
     ]
     # The domain seed shapes *what* is executed; the simulator seed
     # shapes *how* execution goes (failures, delays).  Decoupling them
@@ -234,6 +240,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ServiceConfig(
         max_concurrent=args.max_concurrent,
         backlog=args.backlog,
+        default_orderer=args.default_orderer,
         default_policy=RequestPolicy(deadline_s=args.deadline),
         trace_requests=args.trace,
     )
@@ -354,12 +361,53 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0 if report.errors == 0 else 1
 
 
+def _cmd_anyk_profile(args: argparse.Namespace) -> int:
+    import json
+    from datetime import datetime, timezone
+
+    from repro.experiments.profile import check_anyk_profile, run_anyk_profile
+
+    payload = run_anyk_profile(
+        seed=args.seed,
+        quick=args.quick,
+        rounds=args.rounds,
+        timestamp=datetime.now(timezone.utc).isoformat(),
+    )
+    for section in payload["spaces"]:
+        anyk = section["anyk"]
+        idrips = section["idrips"]
+        print(
+            f"anyk        {section['space_size']:>9,} plans "
+            f"(bucket {section['bucket_size']}): first plan "
+            f"{anyk['first_plan_median_s'] * 1e3:.2f} ms vs iDrips "
+            f"{idrips['first_plan_median_s'] * 1e3:.2f} ms "
+            f"({section['first_plan_speedup']:.1f}x); peak "
+            f"{anyk['first_plan_peak_kib']:,.0f} KiB vs "
+            f"{idrips['first_plan_peak_kib']:,.0f} KiB"
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline written to {args.out}")
+    if args.check:
+        problems = check_anyk_profile(payload)
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("check passed: AnyK first-plan delay within the speedup gate")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     import json
     from datetime import datetime, timezone
 
     from repro.experiments.profile import check_profile, run_profile
 
+    if args.anyk:
+        return _cmd_anyk_profile(args)
     payload = run_profile(
         seed=args.seed,
         quick=args.quick,
@@ -371,7 +419,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     service = payload["service"]
     print(
         f"ordering    greedy {ordering['greedy']['plans_per_s']:,.0f} plans/s, "
-        f"pi {ordering['pi']['plans_per_s']:,.0f} plans/s "
+        f"pi {ordering['pi']['plans_per_s']:,.0f} plans/s, "
+        f"anyk {ordering['anyk']['plans_per_s']:,.0f} plans/s "
         f"(k={ordering['k']}, space={ordering['space_size']})"
     )
     print(
@@ -529,7 +578,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     order = sub.add_parser("order", help="order a synthetic domain's plans")
     order.add_argument("--algorithm", default="streamer",
-                       choices=("pi", "exhaustive", "idrips", "streamer", "greedy"))
+                       choices=ORDERER_CHOICES)
     order.add_argument("--measure", default="coverage",
                        choices=("coverage", "linear", "bind-join", "failure",
                                 "failure-caching", "monetary", "monetary-caching"))
@@ -556,6 +605,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     simulate.add_argument("--sim-seed", type=int, default=None,
                           help="simulator RNG seed (failures/delays); "
                                "defaults to --seed")
+    simulate.add_argument("--orderer", default="pi", choices=ORDERER_CHOICES,
+                          help="ordering algorithm for the executed plans")
     simulate.add_argument("-k", type=int, default=10)
 
     serve = sub.add_parser("serve", help="JSON-lines TCP query service")
@@ -572,6 +623,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                        help="bounded work-queue depth before overload")
     serve.add_argument("--deadline", type=float, default=None,
                        help="default per-request deadline in seconds")
+    serve.add_argument("--default-orderer", default="pi",
+                       choices=ORDERER_CHOICES,
+                       help="orderer for requests that do not name one")
     serve.add_argument("--trace", action="store_true",
                        help="attach per-request span trees to summaries")
     serve.add_argument("--chaos", metavar="PROFILE", default=None,
@@ -659,9 +713,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                          help="interleaved measurement rounds per section")
     profile.add_argument("--quick", action="store_true",
                          help="fewer rounds/requests (smoke mode)")
+    profile.add_argument("--anyk", action="store_true",
+                         help="run the AnyK-vs-iDrips first-plan baseline "
+                              "(BENCH_PR6.json) instead of the PR5 sections")
     profile.add_argument("--check", action="store_true",
                          help="fail (exit 1) when disabled journal hooks "
-                              "exceed the 5%% overhead bound")
+                              "exceed the 5%% overhead bound (or, with "
+                              "--anyk, when the first-plan speedup gate "
+                              "fails)")
 
     dump = sub.add_parser("metrics-dump",
                           help="metrics JSON export -> Prometheus text")

@@ -22,6 +22,7 @@ import sys
 from typing import Callable, Optional, Sequence
 
 from repro.experiments.harness import AlgorithmSpec, PanelResult, PanelSpec, run_panel
+from repro.ordering.anyk import AnyKOrderer
 from repro.ordering.bruteforce import PIOrderer
 from repro.ordering.greedy import GreedyOrderer
 from repro.ordering.idrips import IDripsOrderer
@@ -44,6 +45,12 @@ def _idrips(measure: Callable[[SyntheticDomain], object]) -> AlgorithmSpec:
 
 def _streamer(measure: Callable[[SyntheticDomain], object]) -> AlgorithmSpec:
     return AlgorithmSpec("Streamer", lambda d: StreamerOrderer(measure(d)))
+
+
+def _anyk(measure: Callable[[SyntheticDomain], object]) -> AlgorithmSpec:
+    # Applicable to every measure: lattice mode when fully monotonic,
+    # interval (region-refinement) mode otherwise.
+    return AlgorithmSpec("AnyK", lambda d: AnyKOrderer(measure(d)))
 
 
 def _coverage(domain: SyntheticDomain) -> object:
@@ -83,56 +90,63 @@ def _panel(
 PANELS: dict[str, PanelSpec] = {
     # (a)-(c): plan coverage -- Streamer applicable (diminishing returns).
     "a": _panel("6.a", "plan coverage, 1st plan", 1,
-                (_pi(_coverage), _idrips(_coverage), _streamer(_coverage))),
+                (_pi(_coverage), _idrips(_coverage), _streamer(_coverage),
+                 _anyk(_coverage))),
     "b": _panel("6.b", "plan coverage, 10th plan", 10,
-                (_pi(_coverage), _idrips(_coverage), _streamer(_coverage))),
+                (_pi(_coverage), _idrips(_coverage), _streamer(_coverage),
+                 _anyk(_coverage))),
     "c": _panel("6.c", "plan coverage, 100th plan", 100,
-                (_pi(_coverage), _idrips(_coverage), _streamer(_coverage))),
+                (_pi(_coverage), _idrips(_coverage), _streamer(_coverage),
+                 _anyk(_coverage))),
     # (d)-(f): cost with source failure, no caching -- full independence.
     "d": _panel("6.d", "failure cost (no caching), 1st plan", 1,
                 (_pi(_failure_nocache), _idrips(_failure_nocache),
-                 _streamer(_failure_nocache))),
+                 _streamer(_failure_nocache), _anyk(_failure_nocache))),
     "e": _panel("6.e", "failure cost (no caching), 10th plan", 10,
                 (_pi(_failure_nocache), _idrips(_failure_nocache),
-                 _streamer(_failure_nocache))),
+                 _streamer(_failure_nocache), _anyk(_failure_nocache))),
     "f": _panel("6.f", "failure cost (no caching), 100th plan", 100,
                 (_pi(_failure_nocache), _idrips(_failure_nocache),
-                 _streamer(_failure_nocache))),
+                 _streamer(_failure_nocache), _anyk(_failure_nocache))),
     # (g)-(i): cost with failure + caching -- diminishing returns fails,
-    # Streamer is not applicable (paper, Section 6).
+    # Streamer is not applicable (paper, Section 6); AnyK falls back to
+    # its interval (region-refinement) mode and stays exact.
     "g": _panel("6.g", "failure cost (caching), 1st plan", 1,
-                (_pi(_failure_cache), _idrips(_failure_cache))),
+                (_pi(_failure_cache), _idrips(_failure_cache),
+                 _anyk(_failure_cache))),
     "h": _panel("6.h", "failure cost (caching), 10th plan", 10,
-                (_pi(_failure_cache), _idrips(_failure_cache))),
+                (_pi(_failure_cache), _idrips(_failure_cache),
+                 _anyk(_failure_cache))),
     "i": _panel("6.i", "failure cost (caching), 100th plan", 100,
-                (_pi(_failure_cache), _idrips(_failure_cache))),
+                (_pi(_failure_cache), _idrips(_failure_cache),
+                 _anyk(_failure_cache))),
     # (j)-(l): average monetary cost per tuple, both caching options.
     "j": _panel("6.j", "monetary cost/tuple, 1st plan", 1,
                 (_pi(_monetary_nocache), _idrips(_monetary_nocache),
-                 _streamer(_monetary_nocache),
+                 _streamer(_monetary_nocache), _anyk(_monetary_nocache),
                  _named("PI+cache", _pi(_monetary_cache)),
                  _named("iDrips+cache", _idrips(_monetary_cache)))),
     "k": _panel("6.k", "monetary cost/tuple, 10th plan", 10,
                 (_pi(_monetary_nocache), _idrips(_monetary_nocache),
-                 _streamer(_monetary_nocache),
+                 _streamer(_monetary_nocache), _anyk(_monetary_nocache),
                  _named("PI+cache", _pi(_monetary_cache)),
                  _named("iDrips+cache", _idrips(_monetary_cache)))),
     "l": _panel("6.l", "monetary cost/tuple, 100th plan", 100,
                 (_pi(_monetary_nocache), _idrips(_monetary_nocache),
-                 _streamer(_monetary_nocache),
+                 _streamer(_monetary_nocache), _anyk(_monetary_nocache),
                  _named("PI+cache", _pi(_monetary_cache)),
                  _named("iDrips+cache", _idrips(_monetary_cache)))),
 }
 
 
 def breakdown_spec(k: int = 10, cache: bool = False) -> PanelSpec:
-    """All four ordering algorithms on one measure, for the
+    """Every ordering algorithm on one measure, for the
     evaluation/timing breakdown section of the harness report.
 
     Linear cost (measure (1)) is fully monotonic, context-free and
-    utility-diminishing, so PI, iDrips, Streamer *and* Greedy are all
-    applicable — the only measure family where the four algorithms can
-    be compared head-to-head.  ``cache=True`` additionally opts every
+    utility-diminishing, so PI, iDrips, Streamer, Greedy *and* AnyK are
+    all applicable — the only measure family where all five algorithms
+    can be compared head-to-head.  ``cache=True`` additionally opts every
     algorithm into :class:`~repro.observability.caching.CachingUtilityMeasure`.
     """
 
@@ -146,10 +160,11 @@ def breakdown_spec(k: int = 10, cache: bool = False) -> PanelSpec:
             "Streamer", lambda d: StreamerOrderer(_linear(d), cache=cache)
         ),
         AlgorithmSpec("Greedy", lambda d: GreedyOrderer(_linear(d), cache=cache)),
+        AlgorithmSpec("AnyK", lambda d: AnyKOrderer(_linear(d), cache=cache)),
     )
     return PanelSpec(
         "breakdown",
-        "linear cost, all four algorithms" + (" (memoized)" if cache else ""),
+        "linear cost, all five algorithms" + (" (memoized)" if cache else ""),
         k,
         algorithms,
     )

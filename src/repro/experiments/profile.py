@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import statistics
+import tracemalloc
 from typing import Callable, Optional
 
 from repro.datalog.parser import parse_query
@@ -36,15 +37,24 @@ from repro.execution.mediator import AnswerBatch, Mediator
 from repro.resilience.manager import ResilienceManager
 from repro.observability.journal import EventJournal
 from repro.observability.tracing import Stopwatch, Tracer
+from repro.ordering.anyk import AnyKOrderer
 from repro.ordering.bruteforce import PIOrderer
 from repro.ordering.greedy import GreedyOrderer
+from repro.ordering.idrips import IDripsOrderer
 from repro.service.loadgen import build_query_mix, percentile
 from repro.service.server import QueryRequest, QueryService, ServiceConfig
 from repro.utility.cost import LinearCost
 from repro.workloads.cameras import camera_domain
 from repro.workloads.movies import movie_domain
+from repro.workloads.synthetic import SyntheticParams, generate_domain
 
-__all__ = ["run_profile", "check_profile", "BASELINE_SCHEMA_VERSION"]
+__all__ = [
+    "run_profile",
+    "check_profile",
+    "run_anyk_profile",
+    "check_anyk_profile",
+    "BASELINE_SCHEMA_VERSION",
+]
 
 #: Bump when the document layout changes incompatibly.
 BASELINE_SCHEMA_VERSION = 1
@@ -52,6 +62,19 @@ BASELINE_SCHEMA_VERSION = 1
 #: CI bound: hooked-but-disabled journalling may cost at most this
 #: fraction over the no-hooks control loop (see ``check_profile``).
 MAX_JOURNAL_OFF_OVERHEAD = 0.05
+
+#: Bucket sizes for the AnyK first-plan baseline: 22^3 ≈ 10^4,
+#: 47^3 ≈ 10^5 and 100^3 = 10^6 plans at query length 3.
+ANYK_BUCKET_SIZES = (22, 47, 100)
+ANYK_QUICK_BUCKET_SIZES = (12, 22)
+
+#: CI bound: AnyK's time-to-first-plan must be at most 1/10th of
+#: iDrips' on the gate space (see ``check_anyk_profile``).
+MIN_ANYK_SPEEDUP = 10.0
+
+#: The gate applies to the smallest measured space of at least this
+#: many plans (the "10^5-plan space" of the acceptance criteria).
+ANYK_GATE_MIN_SPACE = 100_000
 
 
 def _median_of(fn: Callable[[], object], rounds: int) -> float:
@@ -69,7 +92,11 @@ def _median_of(fn: Callable[[], object], rounds: int) -> float:
 def _ordering_section(seed: int, rounds: int, k: int) -> dict:
     domain = camera_domain(seed)
     section: dict[str, object] = {"k": k, "space_size": domain.space.size}
-    for name, factory in (("greedy", GreedyOrderer), ("pi", PIOrderer)):
+    for name, factory in (
+        ("greedy", GreedyOrderer),
+        ("pi", PIOrderer),
+        ("anyk", AnyKOrderer),
+    ):
         def once() -> None:
             factory(LinearCost()).order_list(domain.space, k)
 
@@ -79,6 +106,132 @@ def _ordering_section(seed: int, rounds: int, k: int) -> dict:
             "plans_per_s": k / median_s if median_s > 0 else 0.0,
         }
     return section
+
+
+# -- AnyK first-plan delay vs iDrips ----------------------------------------------
+
+
+def _first_plan_memory(make_first_plan: Callable[[], None]) -> float:
+    """Peak traced allocation (KiB) over one first-plan pull.
+
+    Measured in a separate run from the timings: tracemalloc slows
+    allocation severely, so timing under it would distort the delay
+    medians (for both algorithms, but unevenly — iDrips allocates the
+    whole product space, AnyK does not).
+    """
+    tracemalloc.start()
+    try:
+        make_first_plan()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 1024.0
+
+
+def _anyk_space_section(bucket_size: int, seed: int, rounds: int) -> dict:
+    domain = generate_domain(
+        SyntheticParams(query_length=3, bucket_size=bucket_size, seed=seed)
+    )
+    space = domain.space
+    section: dict[str, object] = {
+        "bucket_size": bucket_size,
+        "query_length": 3,
+        "space_size": space.size,
+    }
+    for name, factory in (("anyk", AnyKOrderer), ("idrips", IDripsOrderer)):
+        def first_plan(make=factory) -> None:
+            generator = make(LinearCost()).order(space, 1)
+            next(generator)
+            generator.close()
+
+        section[name] = {
+            "first_plan_median_s": _median_of(first_plan, rounds),
+            "first_plan_peak_kib": _first_plan_memory(first_plan),
+        }
+    anyk_s = section["anyk"]["first_plan_median_s"]  # type: ignore[index]
+    idrips_s = section["idrips"]["first_plan_median_s"]  # type: ignore[index]
+    section["first_plan_speedup"] = idrips_s / anyk_s if anyk_s > 0 else 0.0
+    return section
+
+
+def run_anyk_profile(
+    *,
+    seed: int = 0,
+    quick: bool = False,
+    rounds: Optional[int] = None,
+    timestamp: Optional[str] = None,
+) -> dict:
+    """The AnyK-vs-iDrips first-plan baseline (``BENCH_PR6.json``).
+
+    For each generated plan space (10^4–10^6 plans at query length 3,
+    linear cost) this measures the median time-to-first-plan of both
+    orderers plus their tracemalloc peak over the same pull.  iDrips
+    materializes and abstracts the whole product space before its
+    first emission; AnyK seeds one lattice root per space, so both the
+    delay and the peak grow with the space for iDrips but not AnyK.
+    """
+    rounds = rounds if rounds is not None else (2 if quick else 5)
+    sizes = ANYK_QUICK_BUCKET_SIZES if quick else ANYK_BUCKET_SIZES
+    payload: dict[str, object] = {
+        "schema": BASELINE_SCHEMA_VERSION,
+        "kind": "anyk",
+        "seed": seed,
+        "quick": quick,
+        "rounds": rounds,
+        "measure": "linear",
+        "gate": {
+            "min_speedup": MIN_ANYK_SPEEDUP,
+            "min_space_size": ANYK_GATE_MIN_SPACE,
+        },
+        "spaces": [
+            _anyk_space_section(bucket_size, seed, rounds)
+            for bucket_size in sizes
+        ],
+    }
+    if timestamp is not None:
+        payload["timestamp"] = timestamp
+    return payload
+
+
+def check_anyk_profile(
+    payload: dict,
+    *,
+    min_speedup: float = MIN_ANYK_SPEEDUP,
+    min_space: int = ANYK_GATE_MIN_SPACE,
+) -> list[str]:
+    """Regression findings in an AnyK baseline; empty means pass.
+
+    The CI gate from the acceptance criteria: on the smallest measured
+    space of at least ``min_space`` plans, AnyK's first-plan delay must
+    be at most ``1/min_speedup`` of iDrips'.
+    """
+    spaces = payload.get("spaces")
+    if not isinstance(spaces, list) or not spaces:
+        return ["anyk baseline document has no spaces section"]
+    eligible = [
+        section
+        for section in spaces
+        if isinstance(section, dict)
+        and isinstance(section.get("space_size"), int)
+        and section["space_size"] >= min_space
+    ]
+    if not eligible:
+        return [
+            f"no measured space has >= {min_space} plans "
+            "(rerun without --quick to produce the gate space)"
+        ]
+    gate_section = min(eligible, key=lambda section: section["space_size"])
+    speedup = gate_section.get("first_plan_speedup")
+    if not isinstance(speedup, (int, float)):
+        return ["gate space section has no first_plan_speedup"]
+    problems: list[str] = []
+    if speedup < min_speedup:
+        problems.append(
+            f"AnyK first-plan speedup {speedup:.1f}x over iDrips on the "
+            f"{gate_section['space_size']}-plan space is below the "
+            f"{min_speedup:.0f}x gate"
+        )
+    return problems
 
 
 # -- observability-hook overhead --------------------------------------------------

@@ -12,7 +12,12 @@
   exact brute force that reuses plan-independence information.
 * :class:`~repro.ordering.bruteforce.ExhaustiveOrderer` -- naive brute
   force that recomputes everything each iteration (ablation).
+* :class:`~repro.ordering.anyk.AnyKOrderer` -- any-k ranked
+  enumeration by Lawler successors over the bucket lattice; emits the
+  first plan without materializing or abstracting the product space.
 """
+
+from repro.ordering.anyk import AnyKOrderer
 
 from repro.ordering.abstraction import (
     AbstractPlan,
@@ -31,6 +36,7 @@ from repro.ordering.streamer import StreamerOrderer
 
 __all__ = [
     "AbstractPlan",
+    "AnyKOrderer",
     "AbstractSource",
     "AbstractionHeuristic",
     "DripsPlanner",

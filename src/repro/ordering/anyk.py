@@ -1,0 +1,381 @@
+"""Any-k ranked plan enumeration over the bucket lattice.
+
+The Greedy/iDrips/Streamer orderers all pay for the *whole* plan space
+before (or while) emitting the first plan: Greedy evaluates one plan
+per subspace split, but PI/iDrips/Streamer materialize or abstract the
+full Cartesian product.  The any-k line of work (Lawler 1972;
+Tziavelis et al., "Any-k Algorithms for Enumerating Ranked Answers to
+Conjunctive Queries") shows that the next-best element of a product
+space can be produced with near-constant delay without ever touching
+more than a thin frontier of the product.  :class:`AnyKOrderer` brings
+that to the plan-ordering problem (paper, Definition 2.1).
+
+**Index-vector view.**  Fix, per bucket, a total order on its sources;
+a concrete plan is then an index vector ``v`` (one index per bucket)
+and the plan space is the product lattice of the vectors.  Two
+enumeration modes share this view:
+
+**Lattice mode** — when the measure is *fully monotonic*
+(:attr:`~repro.utility.base.UtilityMeasure.is_fully_monotonic`), sort
+each bucket descending by the measure's
+:meth:`~repro.utility.base.UtilityMeasure.source_preference_key`.
+Full monotonicity makes utility antitone in every coordinate, in every
+execution context: the plan at vector ``v`` is at least as good as any
+``w >= v`` (componentwise).  A priority queue seeded with ``(0, ..,
+0)`` therefore enumerates exactly: pop the best frontier plan, emit
+it, and push its *Lawler successors* — the vectors deviating by ``+1``
+in exactly one coordinate.  The emitted set stays downward closed and
+the heap holds the minimal vectors of its complement, so every
+unemitted plan is dominated by some heap entry.  Time to the first
+plan is one utility evaluation (after an ``O(n * m log m)`` bucket
+sort); each further plan costs at most ``n`` evaluations; memory is
+``O(popped * n)`` vectors for query length ``n``, never ``O(m^n)``.
+
+**Interval mode** — for every other measure (coverage, failure-aware
+or caching costs, monetary), per-bucket preference orders do not
+exist, so exact frontier pruning is impossible coordinate-wise.
+Instead the heap mixes *concrete* entries (exact utility) with
+*region* entries: the region at ``v`` stands for every plan ``w >= v``
+and is keyed by the upper bound of the measure's sound
+:meth:`~repro.utility.base.UtilityMeasure.evaluate_slots` interval
+over the per-bucket suffix slots ``bucket_i[v_i:]`` — the same
+dominance-interval machinery Drips uses (paper, Section 5.1), applied
+to lattice cones instead of abstraction trees.  Popping a concrete
+entry emits it (every other unemitted plan sits under some entry whose
+upper bound is no larger); popping a region *refines* it into its
+corner plan plus its one-coordinate successor regions.  Successor
+regions overlap, which is harmless for upper bounds; visited-vector
+sets deduplicate both corners and regions so each is created once and
+memory again stays ``O(popped * n)`` heap entries.
+
+**Tie-breaking** (documented, deterministic): heap order is
+``(-value, kind, plan key)`` with concrete entries (kind 0) before
+region entries (kind 1) at equal value, and lexicographically smaller
+plan keys first.  Any tie choice satisfies Definition 2.1, so
+AnyK's *utility* stream matches the brute-force reference exactly
+while the plan sequence may differ within a tie group — the
+equivalence granularity ``tests/ordering/equivalence.py`` checks.
+
+**Context sensitivity.**  For measures that are not context-free, a
+recorded execution re-scores every heap entry in the new context
+(like Greedy's re-score): the lattice dominance / interval soundness
+arguments are context-independent, so only the keys need refreshing.
+
+Observability: ``ordering.anyk.pops`` / ``successors`` /
+``duplicates_skipped`` counters, an ``ordering.anyk.heap_peak`` gauge
+and an ``ordering.anyk.delay`` histogram (seconds per emission, so
+``Histogram.quantile`` yields delay percentiles) are registered on the
+orderer's :class:`~repro.observability.metrics.MetricRegistry`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator, Optional
+
+from repro.errors import InternalError
+from repro.observability.tracing import Stopwatch
+from repro.ordering.base import EmitCallback, OrderedPlan, PlanOrderer
+from repro.reformulation.plans import PlanSpace, QueryPlan
+from repro.sources.catalog import SourceDescription
+from repro.utility.base import UtilityMeasure
+
+__all__ = ["AnyKOrderer"]
+
+#: Heap-entry kinds; concrete sorts before region at equal value.
+_CONCRETE = 0
+_REGION = 1
+
+
+class _SpaceLattice:
+    """One plan space viewed as an index-vector lattice.
+
+    Holds the per-bucket source order and the precomputed suffix
+    tuples ``sources[i][j:]`` so interval mode hands *identical* tuple
+    objects to ``evaluate_slots`` for the same cone — which lets
+    caching measures (e.g. ``CoverageUtility``'s slot cache,
+    ``CachingUtilityMeasure``) recognize repeats.
+    """
+
+    __slots__ = ("space", "sources", "suffixes", "limits")
+
+    def __init__(
+        self, space: PlanSpace, utility: UtilityMeasure, lattice: bool
+    ) -> None:
+        self.space = space
+        ordered: list[tuple[SourceDescription, ...]] = []
+        for bucket in space.buckets:
+            if lattice:
+                # Descending preference: index 0 is the bucket's best
+                # source, so utility is antitone in every coordinate.
+                members = tuple(
+                    sorted(
+                        bucket.sources,
+                        key=lambda s: (
+                            utility.source_preference_key(bucket.index, s),
+                            s.name,
+                        ),
+                        reverse=True,
+                    )
+                )
+            else:
+                members = bucket.sources
+            ordered.append(members)
+        self.sources = tuple(ordered)
+        # Suffix tuples are an interval-mode concern; lattice mode
+        # never touches them, keeping its first-plan setup to the sort.
+        self.suffixes = (
+            None
+            if lattice
+            else tuple(
+                tuple(members[j:] for j in range(len(members)))
+                for members in self.sources
+            )
+        )
+        self.limits = tuple(len(members) for members in self.sources)
+
+    def plan_at(self, vector: tuple[int, ...]) -> QueryPlan:
+        return QueryPlan(
+            tuple(self.sources[i][j] for i, j in enumerate(vector))
+        )
+
+    def slots_at(self, vector: tuple[int, ...]):
+        if self.suffixes is None:
+            raise InternalError("suffix slots requested in lattice mode")
+        return tuple(self.suffixes[i][j] for i, j in enumerate(vector))
+
+    def successors(
+        self, vector: tuple[int, ...]
+    ) -> Iterator[tuple[int, ...]]:
+        """The Lawler successors: deviate exactly one coordinate."""
+        for i, j in enumerate(vector):
+            if j + 1 < self.limits[i]:
+                yield vector[:i] + (j + 1,) + vector[i + 1 :]
+
+
+class AnyKOrderer(PlanOrderer):
+    """Ranked (any-k) enumeration by Lawler successors over buckets."""
+
+    name = "anyk"
+
+    def __init__(self, utility: UtilityMeasure, **instrumentation: object) -> None:
+        super().__init__(utility, **instrumentation)
+        self._pops = self.registry.counter("ordering.anyk.pops")
+        self._successors = self.registry.counter("ordering.anyk.successors")
+        self._duplicates = self.registry.counter(
+            "ordering.anyk.duplicates_skipped"
+        )
+        self._heap_peak = self.registry.gauge("ordering.anyk.heap_peak")
+        self._delay = self.registry.histogram("ordering.anyk.delay")
+
+    def order(
+        self,
+        space: PlanSpace,
+        k: int,
+        on_emit: Optional[EmitCallback] = None,
+    ) -> Iterator[OrderedPlan]:
+        return self.order_spaces([space], k, on_emit)
+
+    def order_spaces(
+        self,
+        spaces: "list[PlanSpace] | tuple[PlanSpace, ...]",
+        k: int,
+        on_emit: Optional[EmitCallback] = None,
+    ) -> Iterator[OrderedPlan]:
+        self._check_k(k)
+        if self.utility.is_fully_monotonic:
+            yield from self._order_lattice(spaces, k, on_emit)
+        else:
+            yield from self._order_intervals(spaces, k, on_emit)
+
+    # -- shared plumbing ---------------------------------------------------------
+
+    def _note_heap(self, heap: list) -> None:
+        if len(heap) > self._heap_peak.value:
+            self._heap_peak.set(len(heap))
+
+    # -- lattice mode (fully monotonic measures) ----------------------------------
+
+    def _order_lattice(
+        self,
+        spaces: "list[PlanSpace] | tuple[PlanSpace, ...]",
+        k: int,
+        on_emit: Optional[EmitCallback],
+    ) -> Iterator[OrderedPlan]:
+        context = self.utility.new_context()
+        lattices = [
+            _SpaceLattice(space, self.utility, lattice=True)
+            for space in spaces
+        ]
+        tick = itertools.count()
+
+        # Heap entries: (-value, kind, plan key, tick, space id, vector,
+        # plan).  The leading triple is the documented tie-break; the
+        # tick only guards against ever comparing the payload.
+        def entry(space_id: int, vector: tuple[int, ...]) -> tuple:
+            plan = lattices[space_id].plan_at(vector)
+            value = self._evaluate_plan(plan, context)
+            return (-value, _CONCRETE, plan.key, next(tick), space_id, vector, plan)
+
+        seen: set[tuple[int, tuple[int, ...]]] = set()
+        heap: list[tuple] = []
+        for space_id, lattice in enumerate(lattices):
+            root = (0,) * len(lattice.limits)
+            seen.add((space_id, root))
+            heap.append(entry(space_id, root))
+        heapq.heapify(heap)
+        self._note_heap(heap)
+
+        carry = 0.0  # resumption work belongs to the *next* delay
+        for rank in range(1, k + 1):
+            if not heap:
+                return
+            with Stopwatch() as watch:
+                neg_value, _kind, _key, _tick, space_id, vector, plan = (
+                    heapq.heappop(heap)
+                )
+                self._pops.inc()
+                self.stats.snapshot_first_plan()
+            self._delay.observe(carry + watch.elapsed)
+            yield OrderedPlan(plan, -neg_value, rank)
+            # Resumed: report the emission first (lazy contract point
+            # 2), then expand successors in the possibly-updated
+            # context.
+            with Stopwatch() as watch:
+                if on_emit is None or on_emit(plan):
+                    context.record(plan)
+                    if not self.utility.context_free:
+                        # Full monotonicity pins the per-bucket order
+                        # across contexts, but the values may drift.
+                        heap = [entry(item[4], item[5]) for item in heap]
+                        heapq.heapify(heap)
+                for successor in lattices[space_id].successors(vector):
+                    if (space_id, successor) in seen:
+                        self._duplicates.inc()
+                        continue
+                    seen.add((space_id, successor))
+                    self._successors.inc()
+                    heapq.heappush(heap, entry(space_id, successor))
+                self._note_heap(heap)
+            carry = watch.elapsed
+
+    # -- interval mode (any measure with sound evaluate_slots) --------------------
+
+    def _order_intervals(
+        self,
+        spaces: "list[PlanSpace] | tuple[PlanSpace, ...]",
+        k: int,
+        on_emit: Optional[EmitCallback],
+    ) -> Iterator[OrderedPlan]:
+        context = self.utility.new_context()
+        lattices = [
+            _SpaceLattice(space, self.utility, lattice=False)
+            for space in spaces
+        ]
+        tick = itertools.count()
+
+        # Entries: (-value, kind, corner plan key, tick, space id,
+        # vector, plan-or-None).  A region's key is the *upper* bound
+        # of its cone's utility interval — sound for every plan in it.
+        def concrete_entry(space_id: int, vector: tuple[int, ...]) -> tuple:
+            plan = lattices[space_id].plan_at(vector)
+            value = self._evaluate_plan(plan, context)
+            return (-value, _CONCRETE, plan.key, next(tick), space_id, vector, plan)
+
+        def region_entry(space_id: int, vector: tuple[int, ...]) -> tuple:
+            lattice = lattices[space_id]
+            interval = self._evaluate_slots(lattice.slots_at(vector), context)
+            corner_key = tuple(
+                lattice.sources[i][j].name for i, j in enumerate(vector)
+            )
+            return (-interval.hi, _REGION, corner_key, next(tick), space_id, vector, None)
+
+        corners_seen: set[tuple[int, tuple[int, ...]]] = set()
+        regions_seen: set[tuple[int, tuple[int, ...]]] = set()
+        heap: list[tuple] = []
+        for space_id, lattice in enumerate(lattices):
+            root = (0,) * len(lattice.limits)
+            regions_seen.add((space_id, root))
+            heap.append(region_entry(space_id, root))
+        heapq.heapify(heap)
+        self._note_heap(heap)
+
+        carry = 0.0  # resumption work belongs to the *next* delay
+        for rank in range(1, k + 1):
+            emitted: Optional[tuple] = None
+            with Stopwatch() as watch:
+                while heap:
+                    head = heapq.heappop(heap)
+                    self._pops.inc()
+                    if head[1] == _CONCRETE:
+                        # Exact value >= every other entry's upper
+                        # bound, and every unemitted plan sits under
+                        # some entry: this is the conditional maximum.
+                        emitted = head
+                        break
+                    self._refine(
+                        head, lattices, heap,
+                        corners_seen, regions_seen,
+                        concrete_entry, region_entry,
+                    )
+                    self._note_heap(heap)
+            if emitted is None:
+                return
+            neg_value, _kind, _key, _tick, space_id, vector, plan = emitted
+            if plan is None:
+                raise InternalError("concrete heap entry lost its plan")
+            self.stats.snapshot_first_plan()
+            self._delay.observe(carry + watch.elapsed)
+            yield OrderedPlan(plan, -neg_value, rank)
+            # Successor regions were already created when this plan's
+            # region refined, so resumption only has to report and —
+            # for context-sensitive measures — re-score the frontier.
+            with Stopwatch() as watch:
+                if on_emit is None or on_emit(plan):
+                    context.record(plan)
+                    if not self.utility.context_free:
+                        heap = [
+                            concrete_entry(item[4], item[5])
+                            if item[1] == _CONCRETE
+                            else region_entry(item[4], item[5])
+                            for item in heap
+                        ]
+                        heapq.heapify(heap)
+                        self._note_heap(heap)
+            carry = watch.elapsed
+
+    def _refine(
+        self,
+        head: tuple,
+        lattices: list[_SpaceLattice],
+        heap: list[tuple],
+        corners_seen: set,
+        regions_seen: set,
+        concrete_entry,
+        region_entry,
+    ) -> None:
+        """Split a region into its corner plan + successor regions.
+
+        Coverage invariant: the region at ``v`` stands for the cone
+        ``{w : w >= v}``; its corner ``v`` plus the cones at ``v + e_i``
+        cover exactly the cone minus nothing — any ``w >= v`` other
+        than ``v`` itself exceeds ``v`` in some coordinate ``i`` and so
+        lies in the cone at ``v + e_i``.  Duplicate corners/regions are
+        skipped: the earlier copy (or its refinement) already carries
+        the coverage obligation.
+        """
+        _neg, _kind, _key, _tick, space_id, vector, _plan = head
+        self.stats.refinements += 1
+        if (space_id, vector) not in corners_seen:
+            corners_seen.add((space_id, vector))
+            heapq.heappush(heap, concrete_entry(space_id, vector))
+        else:
+            self._duplicates.inc()
+        for successor in lattices[space_id].successors(vector):
+            if (space_id, successor) in regions_seen:
+                self._duplicates.inc()
+                continue
+            regions_seen.add((space_id, successor))
+            self._successors.inc()
+            heapq.heappush(heap, region_entry(space_id, successor))

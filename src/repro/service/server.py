@@ -49,6 +49,7 @@ from repro.observability.journal import EventJournal, NOOP_JOURNAL
 from repro.observability.metrics import MetricRegistry
 from repro.observability.prometheus import render_registry
 from repro.observability.tracing import Tracer
+from repro.ordering.anyk import AnyKOrderer
 from repro.ordering.bruteforce import ExhaustiveOrderer, PIOrderer
 from repro.ordering.greedy import GreedyOrderer
 from repro.ordering.idrips import IDripsOrderer
@@ -77,6 +78,7 @@ ORDERER_TABLE: dict[str, Callable[[UtilityMeasure], object]] = {
     "idrips": IDripsOrderer,
     "streamer": StreamerOrderer,
     "greedy": GreedyOrderer,
+    "anyk": AnyKOrderer,
 }
 
 #: Per-batch streaming callback (invoked from the session's thread).

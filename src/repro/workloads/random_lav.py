@@ -254,6 +254,178 @@ def ordering_scenario(
     return OrderingScenario(scenario, rich_space, model, domain_sizes)
 
 
+@dataclass
+class FuzzSpace:
+    """A directly-constructed bucket product for orderer fuzzing.
+
+    Unlike :class:`OrderingScenario` there is no LAV reformulation in
+    the loop: the buckets are fabricated, which lets the generator
+    reach shapes reformulation rarely produces — heavy-tailed bucket
+    sizes (one giant bucket next to singletons), adversarial fee
+    structures (everything tied, everything free, fees spanning orders
+    of magnitude), non-uniform transfer costs, and the degenerate
+    single-bucket space.  Mirrors the measure-factory API of
+    :class:`~repro.workloads.synthetic.SyntheticDomain`.
+    """
+
+    seed: int
+    space: PlanSpace
+    model: OverlapModel
+    domain_sizes: tuple[float, ...]
+    #: Which adversarial fee structure was drawn ("iid", "tied",
+    #: "zero", or "extreme") — printed by the fuzz suite on failure.
+    fee_profile: str
+    #: True when every source shares one transfer cost, the proviso
+    #: under which the bind-join measure is fully monotonic.
+    uniform_transfer: bool
+
+    def coverage(self) -> CoverageUtility:
+        return CoverageUtility(self.model)
+
+    def linear_cost(self) -> LinearCost:
+        return LinearCost(access_overhead=1.0)
+
+    def bind_join_cost(self) -> BindJoinCost:
+        return BindJoinCost(
+            access_overhead=1.0,
+            domain_sizes=self.domain_sizes,
+            uniform_transfer=self.uniform_transfer,
+        )
+
+    def failure_cost(self, caching: bool = False) -> BindJoinCost:
+        return BindJoinCost(
+            access_overhead=1.0,
+            domain_sizes=self.domain_sizes,
+            failure_aware=True,
+            caching=caching,
+        )
+
+    def monetary(self, caching: bool = False) -> MonetaryCostPerTuple:
+        return MonetaryCostPerTuple(
+            domain_sizes=self.domain_sizes, caching=caching
+        )
+
+    def describe(self) -> str:
+        """One line a failing fuzz test can print for replay."""
+        sizes = "x".join(str(len(b)) for b in self.space.buckets)
+        return (
+            f"fuzz_ordering_space(seed={self.seed}): buckets {sizes} "
+            f"({self.space.size} plans), fees={self.fee_profile}, "
+            f"uniform_transfer={self.uniform_transfer}"
+        )
+
+
+#: Adversarial fee structures the fuzz generator cycles through.
+FEE_PROFILES = ("iid", "tied", "zero", "extreme")
+
+
+def _fuzz_fees(rng: random.Random, profile: str) -> tuple[float, float]:
+    """(access_fee, fee_per_item) under an adversarial fee structure."""
+    if profile == "tied":
+        # Identical for every source: the monetary measure ties on
+        # every plan with the same output estimate.
+        return 1.5, 0.1
+    if profile == "zero":
+        # Free sources: MonetaryCostPerTuple's output floor keeps the
+        # per-tuple division defined; utilities collapse to 0.
+        return 0.0, 0.0
+    if profile == "extreme":
+        # Several orders of magnitude, so one bucket coordinate can
+        # dominate every other choice.
+        return 10.0 ** rng.uniform(-3, 3), 10.0 ** rng.uniform(-4, 1)
+    return rng.uniform(0.5, 3.0), rng.uniform(0.01, 0.2)
+
+
+def _fuzz_bucket_sizes(
+    rng: random.Random, width: int, max_plans: int
+) -> list[int]:
+    """Heavy-tailed sizes whose product stays at or below *max_plans*."""
+    sizes = [1 + min(60, int(rng.paretovariate(0.9))) for _ in range(width)]
+    while True:
+        product = 1
+        for size in sizes:
+            product *= size
+        if product <= max_plans:
+            return sizes
+        largest = max(range(width), key=lambda i: sizes[i])
+        sizes[largest] = max(1, sizes[largest] // 2)
+
+
+def fuzz_ordering_space(
+    seed: int,
+    max_plans: int = 2000,
+    universe_bits: int = 16,
+) -> FuzzSpace:
+    """A randomized plan space for brute-force cross-checks.
+
+    Deterministic per *seed*.  Every seventh seed draws the degenerate
+    single-bucket space; the rest draw 2–4 buckets with heavy-tailed
+    (Pareto) sizes, clamped so the product never exceeds *max_plans*
+    and stays brute-forceable.  The *empty*-bucket degenerate case
+    cannot be represented — :class:`PlanSpace` rejects it at
+    construction (see :func:`empty_bucket_space`).
+    """
+    rng = random.Random(seed * 9973 + 29)
+    width = 1 if seed % 7 == 3 else rng.randint(2, 4)
+    sizes = _fuzz_bucket_sizes(rng, width, max_plans)
+    fee_profile = FEE_PROFILES[seed % len(FEE_PROFILES)]
+    uniform_transfer = rng.random() < 0.5
+
+    catalog = Catalog()
+    for level in range(width):
+        catalog.add_relation(f"r{level + 1}", 1)
+    buckets = []
+    extensions: dict[tuple[int, str], int] = {}
+    for bucket_index, size in enumerate(sizes):
+        members = []
+        for j in range(size):
+            access_fee, fee_per_item = _fuzz_fees(rng, fee_profile)
+            stats = SourceStats(
+                # Heavy-tailed output estimates to stress abstraction
+                # intervals and the per-tuple division.
+                n_tuples=1 + min(10_000, int(3 * rng.paretovariate(1.2))),
+                transfer_cost=(
+                    1.0 if uniform_transfer else rng.uniform(0.5, 2.0)
+                ),
+                failure_prob=rng.uniform(0.0, 0.4),
+                access_fee=access_fee,
+                fee_per_item=fee_per_item,
+            )
+            name = f"f{bucket_index}_{j}"
+            members.append(
+                catalog.add_source(
+                    f"{name}(Y) :- r{bucket_index + 1}(Y)", stats=stats
+                )
+            )
+            extensions[(bucket_index, name)] = (
+                rng.getrandbits(universe_bits) or 1
+            )
+        buckets.append(Bucket(bucket_index, tuple(members)))
+
+    space = PlanSpace(tuple(buckets))
+    model = OverlapModel([universe_bits] * width, extensions)
+    domain_sizes = tuple(
+        3.0 * max(source.stats.n_tuples for source in bucket.sources)
+        for bucket in buckets
+    )
+    return FuzzSpace(
+        seed, space, model, domain_sizes, fee_profile, uniform_transfer
+    )
+
+
+def empty_bucket_space() -> PlanSpace:
+    """The degenerate empty-bucket case.
+
+    Always raises :class:`~repro.errors.ReformulationError`: a bucket
+    with no covering sources means the query has no conjunctive plans
+    at all, and :class:`PlanSpace` rejects the construction rather
+    than letting orderers meet a zero-plan product.  Kept here so the
+    fuzz suite documents the boundary alongside the cases it *can*
+    generate.
+    """
+    return PlanSpace((Bucket(0, ()),))
+
+
 def certain_answers_three_ways(
     scenario: RandomScenario,
 ) -> tuple[set, set, Optional[set]]:

@@ -89,17 +89,17 @@ class TestSweepSpecs:
 
 
 class TestBreakdown:
-    def test_breakdown_spec_has_all_four_algorithms(self):
+    def test_breakdown_spec_has_all_five_algorithms(self):
         from repro.experiments.figure6 import breakdown_spec
 
         names = [a.name for a in breakdown_spec().algorithms]
-        assert names == ["PI", "iDrips", "Streamer", "Greedy"]
+        assert names == ["PI", "iDrips", "Streamer", "Greedy", "AnyK"]
 
     def test_breakdown_rows_populate_evaluation_split(self):
         from repro.experiments.figure6 import breakdown_spec
 
         result = run_panel(breakdown_spec(k=3), bucket_sizes=(4,))
-        for algo in ("PI", "iDrips", "Streamer", "Greedy"):
+        for algo in ("PI", "iDrips", "Streamer", "Greedy", "AnyK"):
             row = result.row(algo, 4)
             assert row.plans_evaluated == pytest.approx(
                 row.concrete_evaluations + row.abstract_evaluations
@@ -113,7 +113,7 @@ class TestBreakdown:
 
         result = run_panel(breakdown_spec(k=3), bucket_sizes=(4,))
         text = result.format_breakdown()
-        for name in ("PI", "iDrips", "Streamer", "Greedy"):
+        for name in ("PI", "iDrips", "Streamer", "Greedy", "AnyK"):
             assert name in text
         assert "concrete" in text and "abstract" in text
 
@@ -132,7 +132,7 @@ class TestBreakdown:
         result = run_panel(breakdown_spec(k=2), bucket_sizes=(3,))
         payload = json.loads(json.dumps(result.as_dict()))
         assert payload["panel_id"] == "breakdown"
-        assert len(payload["rows"]) == 4
+        assert len(payload["rows"]) == 5
         row = payload["rows"][0]
         assert {"algorithm", "seconds", "plans_evaluated",
                 "concrete_evaluations", "abstract_evaluations",

@@ -68,7 +68,7 @@ class TestBreakdownReport:
 
         report = build_report(["a"], bucket_sizes=(3,))
         assert "## Evaluation breakdown" in report
-        assert "all four algorithms" in report
+        assert "all five algorithms" in report
 
     def test_figure6_metrics_out(self, capsys, tmp_path):
         import json

@@ -217,6 +217,77 @@ def test_journal_on_stream_is_identical(seed, measure_name):
     assert len(journal.events(event="plan.emitted")) == len(expected)
 
 
+# -- AnyK-backed mediation under a correlated request_id ---------------------------
+
+
+class TestAnyKJournalCorrelation:
+    """``plan.emitted`` events from an AnyK-backed ``Mediator.answer``.
+
+    AnyK enumerates by descending conditional utility (linear cost is
+    context-free, coverage has diminishing returns — either way the
+    emitted utilities must never increase), the ranks must be the
+    contiguous emission order, and the journal must correlate the whole
+    run under the one request_id in causal ``seq`` order.
+    """
+
+    MEASURES = ("linear_cost", "coverage")
+
+    def _run(self, seed: int, measure_name: str):
+        from repro.ordering.anyk import AnyKOrderer
+
+        scenario = lav_scenario(seed)
+        utility = getattr(scenario, measure_name)()
+        journal = EventJournal()
+        mediator = Mediator(
+            scenario.scenario.catalog,
+            scenario.scenario.source_facts,
+            journal=journal,
+        )
+        request_id = f"anyk-{measure_name}-{seed}"
+        batches = list(
+            mediator.answer(
+                scenario.scenario.query,
+                utility,
+                orderer=AnyKOrderer(utility),
+                request_id=request_id,
+            )
+        )
+        journal.validate()
+        return journal, request_id, batches
+
+    @pytest.mark.parametrize("measure_name", MEASURES)
+    @pytest.mark.parametrize("seed", RANDOM_LAV_SEEDS[::4])
+    def test_emitted_utilities_never_increase(self, seed, measure_name):
+        journal, request_id, batches = self._run(seed, measure_name)
+        emitted = journal.events(request_id=request_id, event="plan.emitted")
+        assert len(emitted) == len(batches) > 0
+        utilities = [record["utility"] for record in emitted]
+        assert all(
+            earlier >= later - 1e-9
+            for earlier, later in zip(utilities, utilities[1:])
+        ), f"utilities increased mid-stream: {utilities}"
+
+    @pytest.mark.parametrize("measure_name", MEASURES)
+    @pytest.mark.parametrize("seed", RANDOM_LAV_SEEDS[::4])
+    def test_ranks_and_seq_are_causal(self, seed, measure_name):
+        journal, request_id, batches = self._run(seed, measure_name)
+        chain = journal.events(request_id=request_id)
+        assert chain, "no events correlated under the request_id"
+        assert all(
+            record["request_id"] == request_id for record in chain
+        )
+        seqs = [record["seq"] for record in chain]
+        assert seqs == sorted(seqs), "journal seq not monotone"
+        emitted = journal.events(request_id=request_id, event="plan.emitted")
+        assert [record["rank"] for record in emitted] == list(
+            range(1, len(emitted) + 1)
+        )
+        # The journaled utilities are the batch utilities, in order.
+        assert [record["utility"] for record in emitted] == pytest.approx(
+            [batch.utility for batch in batches]
+        )
+
+
 @pytest.mark.parametrize("seed", RANDOM_LAV_SEEDS[::5])
 def test_pipelined_journal_on_stream_is_identical(seed):
     """Spot-check the concurrent path: journaled pipelined session vs

@@ -1,0 +1,94 @@
+"""Randomized cross-checks of AnyK against brute force.
+
+Every :func:`~repro.workloads.random_lav.fuzz_ordering_space` draw is
+a bucket product reformulation rarely produces — heavy-tailed bucket
+sizes, adversarial fee structures, the degenerate single-bucket space
+— capped at 2000 plans so :class:`ExhaustiveOrderer` stays a feasible
+oracle.  Each assertion carries ``FuzzSpace.describe()``, which names
+the seed and the drawn shape, so a failure replays with
+``fuzz_ordering_space(seed=...)`` directly.
+"""
+
+import pytest
+
+from tests.ordering.equivalence import (
+    assert_matches_bruteforce,
+    assert_streams_equivalent,
+    utility_stream,
+)
+
+from repro.errors import ReformulationError
+from repro.ordering.anyk import AnyKOrderer
+from repro.ordering.bruteforce import ExhaustiveOrderer
+from repro.workloads.random_lav import (
+    FEE_PROFILES,
+    empty_bucket_space,
+    fuzz_ordering_space,
+)
+
+#: 28 seeds cover all four fee profiles (seed mod 4) and hit the
+#: single-bucket degenerate draw (seed mod 7 == 3) four times.
+FUZZ_SEEDS = tuple(range(28))
+
+MEASURES = ("linear_cost", "bind_join_cost", "coverage", "monetary", "failure_cost")
+
+MAX_PLANS = 2000
+
+
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+@pytest.mark.parametrize("measure_name", MEASURES)
+def test_anyk_matches_bruteforce_on_fuzz_space(seed, measure_name):
+    fuzz = fuzz_ordering_space(seed, max_plans=MAX_PLANS)
+    assert fuzz.space.size <= MAX_PLANS, fuzz.describe()
+    k = min(10, fuzz.space.size)
+    assert_matches_bruteforce(
+        AnyKOrderer,
+        fuzz.space,
+        getattr(fuzz, measure_name),
+        k,
+        label=f"{fuzz.describe()}, measure={measure_name}",
+    )
+
+
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_anyk_full_drain_matches_bruteforce(seed):
+    """Exhausting the whole space (not just top-k) agrees with the
+    oracle — the successor lattice must reach every plan exactly once."""
+    fuzz = fuzz_ordering_space(seed, max_plans=200)
+    make = fuzz.linear_cost
+    k = fuzz.space.size
+    candidate = utility_stream(AnyKOrderer(make()), fuzz.space, k)
+    reference = utility_stream(ExhaustiveOrderer(make()), fuzz.space, k)
+    assert len(candidate) == k, fuzz.describe()
+    assert_streams_equivalent(candidate, reference, label=fuzz.describe())
+
+
+def test_fuzz_family_draws_single_bucket_spaces():
+    widths = {
+        fuzz_ordering_space(seed).space.width for seed in FUZZ_SEEDS
+    }
+    assert 1 in widths, "no degenerate single-bucket draw in the family"
+    assert widths - {1}, "family collapsed to single-bucket spaces only"
+
+
+def test_fuzz_family_covers_every_fee_profile():
+    profiles = {
+        fuzz_ordering_space(seed).fee_profile for seed in FUZZ_SEEDS
+    }
+    assert profiles == set(FEE_PROFILES)
+
+
+def test_fuzz_spaces_are_deterministic_per_seed():
+    first = fuzz_ordering_space(5)
+    second = fuzz_ordering_space(5)
+    assert first.describe() == second.describe()
+    assert [p.key for p in first.space.plans()] == [
+        p.key for p in second.space.plans()
+    ]
+
+
+def test_empty_bucket_space_is_rejected():
+    """The documented boundary: a bucket with no covering sources has
+    no conjunctive plans, and the space refuses to exist."""
+    with pytest.raises(ReformulationError):
+        empty_bucket_space()

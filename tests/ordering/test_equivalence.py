@@ -3,19 +3,30 @@
 For random domains and every applicable (algorithm, measure) pair, the
 emitted sequence must be a valid greedy-max ordering; on tie-free
 measures all algorithms must produce identical utility sequences.
-"""
 
-import functools
+The shared machinery (orderer rosters, utility-stream assertions, the
+20-seed LAV sweep parameters) lives in the reusable kit
+``tests/ordering/equivalence.py``; this suite drives it.
+"""
 
 import pytest
 
 from tests.conftest import assert_valid_ordering
+from tests.ordering.equivalence import (
+    MONOTONIC_SWEEP_MEASURES,
+    SWEEP_MEASURES,
+    SWEEP_SEEDS,
+    applicable_orderers,
+    assert_matches_bruteforce,
+    assert_streams_equivalent,
+    lav_scenario,
+    utility_stream,
+)
 
-from repro.ordering.bruteforce import ExhaustiveOrderer, PIOrderer
-from repro.ordering.greedy import GreedyOrderer
+from repro.ordering.anyk import AnyKOrderer
+from repro.ordering.bruteforce import PIOrderer
 from repro.ordering.idrips import IDripsOrderer
 from repro.ordering.streamer import StreamerOrderer
-from repro.workloads.random_lav import ordering_scenario
 from repro.workloads.synthetic import SyntheticParams, generate_domain
 
 SEEDS = [1, 2, 3, 4]
@@ -41,15 +52,7 @@ MEASURES = {
 
 
 def orderers_for(measure_name, domain):
-    make = MEASURES[measure_name]
-    orderers = [ExhaustiveOrderer(make(domain)), PIOrderer(make(domain))]
-    orderers.append(IDripsOrderer(make(domain)))
-    measure = make(domain)
-    if measure.has_diminishing_returns:
-        orderers.append(StreamerOrderer(make(domain)))
-    if measure.is_fully_monotonic:
-        orderers.append(GreedyOrderer(make(domain)))
-    return orderers
+    return applicable_orderers(lambda: MEASURES[measure_name](domain))
 
 
 @pytest.mark.parametrize("seed", SEEDS)
@@ -98,28 +101,15 @@ def test_coverage_agreement_across_overlap_rates(overlap):
 
 
 #: Satellite property sweep: random LAV scenarios, >= 20 seeds.
-RANDOM_LAV_SEEDS = list(range(20))
+RANDOM_LAV_SEEDS = list(SWEEP_SEEDS)
 
 #: The four utility-measure families, via OrderingScenario factories.
-RANDOM_LAV_MEASURES = ("linear_cost", "bind_join_cost", "coverage", "monetary")
-
-
-@functools.lru_cache(maxsize=None)
-def lav_scenario(seed: int):
-    return ordering_scenario(seed)
+RANDOM_LAV_MEASURES = SWEEP_MEASURES
 
 
 def lav_orderers(scenario, measure_name):
-    """Brute force, iDrips, Streamer, and (where sound) Greedy."""
-    make = getattr(scenario, measure_name)
-    orderers = [ExhaustiveOrderer(make()), PIOrderer(make()),
-                IDripsOrderer(make())]
-    measure = make()
-    if measure.has_diminishing_returns:
-        orderers.append(StreamerOrderer(make()))
-    if measure.is_fully_monotonic:
-        orderers.append(GreedyOrderer(make()))
-    return orderers
+    """Every applicable orderer, brute force first (see the kit)."""
+    return applicable_orderers(getattr(scenario, measure_name))
 
 
 @pytest.mark.parametrize("seed", RANDOM_LAV_SEEDS)
@@ -166,6 +156,41 @@ def test_random_lav_greedy_applies_to_both_monotone_measures():
     assert scenario.bind_join_cost().is_fully_monotonic
     assert not scenario.coverage().is_fully_monotonic
     assert not scenario.monetary().is_fully_monotonic
+
+
+class TestAnyKStreamEquivalence:
+    """The tentpole's acceptance sweep, via the shared kit.
+
+    AnyK must be utility-equivalent to brute force on every small
+    space (20 seeds × 4 measures) and to iDrips on the fully
+    monotonic measures, where both enumerate the exact frontier.
+    """
+
+    @pytest.mark.parametrize("seed", SWEEP_SEEDS)
+    @pytest.mark.parametrize("measure_name", SWEEP_MEASURES)
+    def test_anyk_matches_bruteforce(self, seed, measure_name):
+        scenario = lav_scenario(seed)
+        k = min(8, scenario.space.size)
+        assert_matches_bruteforce(
+            AnyKOrderer,
+            scenario.space,
+            getattr(scenario, measure_name),
+            k,
+            label=f"anyk vs bruteforce, {measure_name}, seed {seed}",
+        )
+
+    @pytest.mark.parametrize("seed", SWEEP_SEEDS)
+    @pytest.mark.parametrize("measure_name", MONOTONIC_SWEEP_MEASURES)
+    def test_anyk_matches_idrips_on_monotonic(self, seed, measure_name):
+        scenario = lav_scenario(seed)
+        make = getattr(scenario, measure_name)
+        assert make().is_fully_monotonic
+        k = min(8, scenario.space.size)
+        assert_streams_equivalent(
+            utility_stream(AnyKOrderer(make()), scenario.space, k),
+            utility_stream(IDripsOrderer(make()), scenario.space, k),
+            label=f"anyk vs idrips, {measure_name}, seed {seed}",
+        )
 
 
 def test_query_length_one():

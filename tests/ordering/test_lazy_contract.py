@@ -13,6 +13,7 @@ import pytest
 
 from tests.conftest import assert_valid_ordering
 
+from repro.ordering.anyk import AnyKOrderer
 from repro.ordering.bruteforce import ExhaustiveOrderer, PIOrderer
 from repro.ordering.greedy import GreedyOrderer
 from repro.ordering.idrips import IDripsOrderer
@@ -21,13 +22,16 @@ from repro.ordering.streamer import StreamerOrderer
 K = 6
 
 # (orderer class, measure factory name) — each paired with a measure
-# the algorithm is applicable to.
+# the algorithm is applicable to.  AnyK appears twice: linear cost
+# drives its monotone-lattice mode, coverage its interval mode.
 CASES = [
     ("exhaustive", ExhaustiveOrderer, "linear_cost"),
     ("pi", PIOrderer, "linear_cost"),
     ("idrips", IDripsOrderer, "linear_cost"),
     ("greedy", GreedyOrderer, "linear_cost"),  # fully monotonic
     ("streamer", StreamerOrderer, "coverage"),  # diminishing returns
+    ("anyk-lattice", AnyKOrderer, "linear_cost"),
+    ("anyk-interval", AnyKOrderer, "coverage"),
 ]
 
 
