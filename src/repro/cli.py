@@ -19,10 +19,17 @@ Commands
     on the virtual-clock simulator, best-first versus worst-first.
 ``serve``
     Start the JSON-lines TCP query service over a workload's catalog
-    (:mod:`repro.service`).
+    (:mod:`repro.service`); ``--workers N`` scales out to a sharded
+    cluster.
+``cluster``
+    Start a sharded cluster explicitly: N worker processes behind a
+    consistent-hash router with cross-shard metric aggregation
+    (:mod:`repro.cluster`).
 ``bench-serve``
     Replay a random query mix against a served catalog and report
-    throughput plus first/last-answer latency percentiles.
+    throughput plus first/last-answer latency percentiles;
+    ``--router N`` drives an in-process cluster and reports per-shard
+    percentiles and the shard-imbalance ratio.
 ``lint``
     Static analysis (:mod:`repro.analysis`): the AST code rules over a
     source tree and/or the scenario rules over bundled workloads.
@@ -64,8 +71,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 #: Orderer names accepted by ``order --algorithm``, ``simulate
-#: --orderer`` and ``serve --default-orderer``.
-ORDERER_CHOICES = ("pi", "exhaustive", "idrips", "streamer", "greedy", "anyk")
+#: --orderer`` and ``serve --default-orderer``.  ``auto`` resolves per
+#: utility measure: ``anyk`` when the measure is fully monotonic
+#: (streamed ranked enumeration applies), ``pi`` otherwise.
+ORDERER_CHOICES = ("auto", "pi", "exhaustive", "idrips", "streamer",
+                   "greedy", "anyk")
 
 
 def _make_orderer(name: str, utility, **instrumentation):
@@ -75,6 +85,10 @@ def _make_orderer(name: str, utility, **instrumentation):
     from repro.ordering.idrips import IDripsOrderer
     from repro.ordering.streamer import StreamerOrderer
 
+    if name == "auto":
+        from repro.service.server import resolve_orderer_name
+
+        name = resolve_orderer_name(name, utility)
     table = {
         "pi": PIOrderer,
         "exhaustive": ExhaustiveOrderer,
@@ -183,32 +197,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _service_workload(name: str, seed: int):
     """(catalog, source_facts, measure factories, canonical query)."""
-    if name == "movies":
-        from repro.utility.cost import LinearCost
-        from repro.workloads.movies import movie_domain
+    from repro.service.workloads import service_workload
 
-        domain = movie_domain()
-        return (
-            domain.catalog,
-            domain.source_facts,
-            {"linear": LinearCost},
-            domain.query,
-        )
-    from repro.workloads.random_lav import ordering_scenario
-
-    scenario = ordering_scenario(seed)
-    measures = {
-        "linear": scenario.linear_cost,
-        "bind-join": scenario.bind_join_cost,
-        "coverage": scenario.coverage,
-        "monetary": scenario.monetary,
-    }
-    return (
-        scenario.scenario.catalog,
-        scenario.scenario.source_facts,
-        measures,
-        scenario.scenario.query,
-    )
+    return service_workload(name, seed)
 
 
 def _chaos_setup(args: argparse.Namespace):
@@ -228,6 +219,90 @@ def _chaos_setup(args: argparse.Namespace):
     return backend, resilience
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Serve a sharded cluster (``repro cluster`` / ``serve --workers N``)."""
+    import signal
+    import threading
+
+    from repro.cluster.runtime import Cluster, worker_specs
+    from repro.cluster.spec import ClusterConfig
+
+    chaos = None
+    if args.chaos:
+        from repro.resilience.chaos import bundled_profile
+
+        # Workers live in other processes: chaos crosses as a plain
+        # dict (picklable) and is rebuilt per shard.
+        chaos = bundled_profile(args.chaos).as_dict()
+    workers = getattr(args, "workers", 2)
+    config = ClusterConfig(
+        workers=workers,
+        host=args.host,
+        backlog_per_shard=getattr(args, "backlog_per_shard", None)
+        or args.backlog,
+    )
+    specs = worker_specs(
+        config,
+        workload=args.workload,
+        seed=args.seed,
+        max_concurrent=args.max_concurrent,
+        backlog=args.backlog,
+        default_orderer=args.default_orderer,
+        deadline_s=args.deadline,
+        chaos=chaos,
+        chaos_seed=args.chaos_seed,
+        breakers=not args.no_breakers,
+        journal_dir=getattr(args, "journal_dir", None),
+    )
+    journal = None
+    journal_sink = None
+    if args.journal:
+        from repro.observability.journal import EventJournal
+
+        journal_sink = open(args.journal, "w", encoding="utf-8")
+        journal = EventJournal(stream=journal_sink)
+    cluster = Cluster(specs, config, journal=journal)
+    port = cluster.start(host=args.host, port=args.port)
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.service.metricsd import start_metrics_server
+
+        metrics_server, _mthread = start_metrics_server(
+            cluster.prometheus_text, host=args.host, port=args.metrics_port
+        )
+        print(
+            f"cluster metrics on "
+            f"http://{args.host}:{metrics_server.port}/metrics",
+            flush=True,
+        )
+    stop = threading.Event()
+    try:
+        signal.signal(signal.SIGINT, lambda *_: stop.set())
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    except ValueError:
+        pass  # not on the main thread (e.g. under a test harness)
+    chaos_note = f"; chaos: {args.chaos}" if args.chaos else ""
+    print(
+        f"routing {args.workload} on {args.host}:{port} across "
+        f"{workers} workers{chaos_note} (Ctrl-C to stop)",
+        flush=True,
+    )
+    try:
+        while not stop.is_set():
+            stop.wait(0.2)
+    except KeyboardInterrupt:
+        pass
+    print("shutting down", flush=True)
+    if metrics_server is not None:
+        metrics_server.shutdown()
+        metrics_server.server_close()
+    cluster.stop()
+    if journal_sink is not None:
+        journal_sink.close()
+        print(f"journal written to {args.journal}", flush=True)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
@@ -236,6 +311,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.policy import RequestPolicy
     from repro.service.server import QueryService, ServiceConfig
 
+    if getattr(args, "workers", 1) > 1:
+        return _cmd_cluster(args)
     catalog, facts, measures, _ = _service_workload(args.workload, args.seed)
     config = ServiceConfig(
         max_concurrent=args.max_concurrent,
@@ -311,11 +388,36 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
 
     catalog, facts, measures, query = _service_workload(args.workload, args.seed)
     mix = build_query_mix(catalog, args.queries, seed=args.seed, include=query)
-    server = service = None
+    server = service = cluster = None
+    if args.connect and args.router:
+        print("bench-serve: --connect and --router are mutually exclusive",
+              file=sys.stderr)
+        return 2
     if args.connect:
         host, _, port_text = args.connect.rpartition(":")
         host = host or "127.0.0.1"
         port = int(port_text)
+    elif args.router:
+        from repro.cluster.runtime import Cluster, worker_specs
+        from repro.cluster.spec import ClusterConfig
+
+        chaos = None
+        if args.chaos:
+            from repro.resilience.chaos import bundled_profile
+
+            chaos = bundled_profile(args.chaos).as_dict()
+        config = ClusterConfig(workers=args.router)
+        specs = worker_specs(
+            config,
+            workload=args.workload,
+            seed=args.seed,
+            max_concurrent=args.max_concurrent,
+            chaos=chaos,
+            chaos_seed=args.chaos_seed,
+            breakers=not args.no_breakers,
+        )
+        cluster = Cluster(specs, config)
+        host, port = "127.0.0.1", cluster.start()
     else:
         from repro.service.frontend import start_server
         from repro.service.server import QueryService, ServiceConfig
@@ -346,9 +448,14 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             server.shutdown()
             server.server_close()
             service.shutdown()
+        if cluster is not None:
+            cluster.stop()
+    target = args.workload
+    if args.router:
+        target = f"{args.workload} via {args.router}-worker router"
     print(
         f"{args.requests} requests x {args.concurrency} connections "
-        f"over {len(mix)} queries ({args.workload}):"
+        f"over {len(mix)} queries ({target}):"
     )
     print(report.format_table())
     if args.degradation_out:
@@ -400,6 +507,44 @@ def _cmd_anyk_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster_profile(args: argparse.Namespace) -> int:
+    import json
+    from datetime import datetime, timezone
+
+    from repro.experiments.profile import (
+        check_cluster_profile,
+        run_cluster_profile,
+    )
+
+    payload = run_cluster_profile(
+        seed=args.seed,
+        quick=args.quick,
+        timestamp=datetime.now(timezone.utc).isoformat(),
+    )
+    base = payload["arms"]["single"]["throughput_rps"]
+    print(f"single      {base:7.1f} req/s (1 process)")
+    for key in sorted(payload["scaling"]):
+        arm = payload["arms"][key]
+        print(
+            f"{key:<11} {arm['throughput_rps']:7.1f} req/s "
+            f"({payload['scaling'][key]:.2f}x, imbalance "
+            f"{arm.get('shard_imbalance', 0.0):.2f})"
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline written to {args.out}")
+    if args.check:
+        problems = check_cluster_profile(payload)
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("check passed: cluster scale-out within the scaling gates")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     import json
     from datetime import datetime, timezone
@@ -408,6 +553,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     if args.anyk:
         return _cmd_anyk_profile(args)
+    if args.cluster:
+        return _cmd_cluster_profile(args)
     payload = run_profile(
         seed=args.seed,
         quick=args.quick,
@@ -623,9 +770,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                        help="bounded work-queue depth before overload")
     serve.add_argument("--deadline", type=float, default=None,
                        help="default per-request deadline in seconds")
-    serve.add_argument("--default-orderer", default="pi",
+    serve.add_argument("--workers", type=int, default=1,
+                       help="run a sharded cluster instead: N worker "
+                            "processes behind a consistent-hash router")
+    serve.add_argument("--default-orderer", default="auto",
                        choices=ORDERER_CHOICES,
-                       help="orderer for requests that do not name one")
+                       help="orderer for requests that do not name one "
+                            "(auto: anyk for fully-monotonic measures, "
+                            "pi otherwise)")
     serve.add_argument("--trace", action="store_true",
                        help="attach per-request span trees to summaries")
     serve.add_argument("--chaos", metavar="PROFILE", default=None,
@@ -643,6 +795,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                        help="record the correlated event journal as JSON "
                             "lines to PATH")
 
+    cluster = sub.add_parser("cluster",
+                             help="sharded router/worker cluster")
+    cluster.add_argument("--workload", default="movies",
+                         choices=("movies", "random-lav"))
+    cluster.add_argument("--seed", type=int, default=0,
+                         help="workload seed (random-lav)")
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument("--port", type=int, default=7462,
+                         help="router TCP port (0 picks a free one); "
+                              "workers always bind OS-assigned ports")
+    cluster.add_argument("--workers", type=int, default=2,
+                         help="number of worker processes (shards)")
+    cluster.add_argument("--max-concurrent", type=int, default=8,
+                         help="per-worker admission-control concurrency cap")
+    cluster.add_argument("--backlog", type=int, default=32,
+                         help="per-worker work-queue depth before overload")
+    cluster.add_argument("--backlog-per-shard", type=int, default=32,
+                         help="router-side relay cap per shard before "
+                              "shedding with an overloaded error")
+    cluster.add_argument("--deadline", type=float, default=None,
+                         help="default per-request deadline in seconds")
+    cluster.add_argument("--default-orderer", default="auto",
+                         choices=ORDERER_CHOICES,
+                         help="orderer for requests that do not name one")
+    cluster.add_argument("--chaos", metavar="PROFILE", default=None,
+                         help="inject a bundled chaos profile in every "
+                              "worker (decorrelated seeds per shard)")
+    cluster.add_argument("--chaos-seed", type=int, default=0,
+                         help="base seed for deterministic chaos draws")
+    cluster.add_argument("--no-breakers", action="store_true",
+                         help="with --chaos: disable per-source breaker "
+                              "skipping inside workers")
+    cluster.add_argument("--metrics-port", type=int, default=None,
+                         help="expose the cross-shard merged registry on "
+                              "http://HOST:PORT/metrics (0 picks a port)")
+    cluster.add_argument("--journal", metavar="PATH", default=None,
+                         help="router/supervisor event journal (JSON lines)")
+    cluster.add_argument("--journal-dir", metavar="DIR", default=None,
+                         help="per-worker journals as "
+                              "DIR/journal-shard<k>.jsonl")
+
     bench = sub.add_parser("bench-serve",
                            help="load-generate against the query service")
     bench.add_argument("--workload", default="movies",
@@ -651,6 +844,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     bench.add_argument("--connect", metavar="HOST:PORT", default=None,
                        help="drive an already-running server instead of "
                             "starting one in-process")
+    bench.add_argument("--router", type=int, metavar="N", default=None,
+                       help="drive an in-process N-worker cluster through "
+                            "its router; the report adds per-shard "
+                            "latency percentiles and the imbalance ratio")
     bench.add_argument("--requests", type=int, default=50)
     bench.add_argument("--concurrency", type=int, default=4,
                        help="concurrent client connections")
@@ -716,11 +913,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     profile.add_argument("--anyk", action="store_true",
                          help="run the AnyK-vs-iDrips first-plan baseline "
                               "(BENCH_PR6.json) instead of the PR5 sections")
+    profile.add_argument("--cluster", action="store_true",
+                         help="run the cluster scale-out baseline "
+                              "(BENCH_PR7.json): single process vs 2 and 4 "
+                              "router-fronted workers on a sleep-bound "
+                              "workload")
     profile.add_argument("--check", action="store_true",
                          help="fail (exit 1) when disabled journal hooks "
-                              "exceed the 5%% overhead bound (or, with "
-                              "--anyk, when the first-plan speedup gate "
-                              "fails)")
+                              "exceed the 5%% overhead bound (with --anyk: "
+                              "the first-plan speedup gate; with --cluster: "
+                              "the throughput scaling gates)")
 
     dump = sub.add_parser("metrics-dump",
                           help="metrics JSON export -> Prometheus text")
@@ -742,6 +944,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_simulate(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     if args.command == "bench-serve":
         return _cmd_bench_serve(args)
     if args.command == "lint":

@@ -1,0 +1,34 @@
+"""Multi-process scale-out: a router over shared-nothing workers.
+
+The service layer (:mod:`repro.service`) is one process: one
+:class:`~repro.service.server.QueryService`, one utility cache, one
+GIL.  This package fans the same service out over N **worker
+processes** — each a full service with its own caches — behind a
+**router** that admits requests by consistent-hashing the query text,
+so a given query always lands on the shard whose utility cache it
+warmed last time.
+
+* :mod:`repro.cluster.hashing` — the consistent-hash ring (stable
+  across processes and runs; ~1/N of keys move when a shard joins).
+* :mod:`repro.cluster.spec` — picklable worker/cluster configuration.
+* :mod:`repro.cluster.worker` — the spawned worker entry point.
+* :mod:`repro.cluster.supervisor` — process lifecycle: spawn, health
+  probes behind per-shard circuit breakers, crash restarts.
+* :mod:`repro.cluster.router` — the front TCP server: hash admission,
+  bounded per-shard backlogs, shard-tagged relays, failover.
+* :mod:`repro.cluster.runtime` — ties the above into one
+  :class:`Cluster` with cross-shard metric aggregation.
+
+See ``docs/cluster.md``.
+"""
+
+from repro.cluster.hashing import ConsistentHashRing
+from repro.cluster.runtime import Cluster
+from repro.cluster.spec import ClusterConfig, WorkerSpec
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "ConsistentHashRing",
+    "WorkerSpec",
+]

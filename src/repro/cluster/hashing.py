@@ -1,0 +1,116 @@
+"""A consistent-hash ring over shard ids.
+
+Routing must satisfy two properties the obvious ``hash(key) % N``
+lacks:
+
+* **cross-process stability** — the router and any offline tooling
+  must agree on placements, and Python's builtin ``hash`` is salted
+  per process (``PYTHONHASHSEED``).  Ring points therefore come from
+  SHA-256, which is stable everywhere.
+* **minimal disruption** — adding or removing one shard must remap
+  only ~1/N of the key space, not reshuffle everything, or every
+  membership change would cold-start every per-shard utility cache.
+
+Each shard contributes ``replicas`` virtual points so the arcs even
+out; a key routes to the first shard point at or after its own hash,
+wrapping around.  :meth:`candidates` walks onward around the ring —
+the failover order when the primary shard's breaker is open.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Iterator
+
+from repro.errors import ServiceError
+
+__all__ = ["ConsistentHashRing"]
+
+
+def _point(label: str) -> int:
+    """A stable 64-bit ring position for *label*."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ConsistentHashRing:
+    """SHA-256 consistent hashing of string keys onto integer shards."""
+
+    def __init__(self, shards: Iterable[int], *, replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ServiceError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._shards: set[int] = set()
+        self._points: list[int] = []
+        self._owners: list[int] = []
+        for shard in shards:
+            self.add(shard)
+        if not self._shards:
+            raise ServiceError("ring needs at least one shard")
+
+    # -- membership --------------------------------------------------------------
+
+    def add(self, shard: int) -> None:
+        if shard in self._shards:
+            raise ServiceError(f"shard {shard} already on the ring")
+        self._shards.add(shard)
+        for replica in range(self.replicas):
+            point = _point(f"shard-{shard}:{replica}")
+            index = bisect.bisect_left(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, shard)
+
+    def remove(self, shard: int) -> None:
+        if shard not in self._shards:
+            raise ServiceError(f"shard {shard} not on the ring")
+        if len(self._shards) == 1:
+            raise ServiceError("cannot remove the last shard")
+        self._shards.discard(shard)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != shard
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    @property
+    def shards(self) -> tuple[int, ...]:
+        return tuple(sorted(self._shards))
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: int) -> bool:
+        return shard in self._shards
+
+    # -- lookup ------------------------------------------------------------------
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning *key*: first ring point at/after its hash."""
+        index = bisect.bisect_left(self._points, _point(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def candidates(self, key: str) -> Iterator[int]:
+        """All shards in ring order from *key*: primary, then failovers.
+
+        Yields each shard exactly once; exhausting the iterator means
+        every shard was tried.
+        """
+        start = bisect.bisect_left(self._points, _point(key))
+        seen: set[int] = set()
+        total = len(self._points)
+        for offset in range(total):
+            owner = self._owners[(start + offset) % total]
+            if owner not in seen:
+                seen.add(owner)
+                yield owner
+
+    def __repr__(self) -> str:
+        return (
+            f"<ConsistentHashRing shards={self.shards} "
+            f"replicas={self.replicas}>"
+        )

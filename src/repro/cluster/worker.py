@@ -1,0 +1,113 @@
+"""The worker process entry point.
+
+``worker_main`` is what the supervisor hands to the ``spawn``
+context: a module-level function (so it pickles by reference) that
+rebuilds a full :class:`~repro.service.server.QueryService` from its
+:class:`~repro.cluster.spec.WorkerSpec`, binds the JSON-lines TCP
+front end on an OS-assigned port, reports that port back over the
+ready pipe, and then parks until told to stop.
+
+Workers are **shared nothing**: each has its own utility caches,
+metric registry, resilience manager, and (optionally) journal file.
+Cross-shard aggregation happens in the router by scraping each
+worker's ``{"type": "metrics"}`` control record — nothing here is
+shared memory.
+
+Shutdown is cooperative: SIGTERM (or SIGINT) sets an event, the main
+loop drains, and the TCP server + service close cleanly so in-flight
+requests finish their streams.  A worker that dies any other way is
+noticed by the supervisor's probe loop and restarted.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from typing import Optional
+
+from repro.cluster.spec import WorkerSpec
+from repro.observability.journal import EventJournal
+from repro.service.frontend import start_server
+from repro.service.policy import RequestPolicy
+from repro.service.server import QueryService, ServiceConfig
+from repro.service.workloads import service_workload
+
+__all__ = ["build_worker_service", "worker_main"]
+
+
+def build_worker_service(
+    spec: WorkerSpec, *, journal: Optional[EventJournal] = None
+) -> QueryService:
+    """A fully wired :class:`QueryService` for *spec* (also used in tests)."""
+    catalog, facts, measures, _ = service_workload(spec.workload, spec.seed)
+    backend = None
+    resilience = None
+    if spec.chaos:
+        from repro.resilience import ResilienceManager
+        from repro.resilience.chaos import ChaosBackend, ChaosProfile
+
+        backend = ChaosBackend(
+            ChaosProfile.from_dict(spec.chaos), seed=spec.chaos_seed
+        )
+        resilience = ResilienceManager(breakers=spec.breakers)
+    config = ServiceConfig(
+        max_concurrent=spec.max_concurrent,
+        backlog=spec.backlog,
+        default_orderer=spec.default_orderer,
+        default_policy=RequestPolicy(deadline_s=spec.deadline_s),
+    )
+    return QueryService(
+        catalog,
+        facts,
+        measures=measures,
+        config=config,
+        backend=backend,
+        resilience=resilience,
+        journal=journal,
+    )
+
+
+def worker_main(spec: WorkerSpec, ready_conn) -> None:
+    """Run one worker until SIGTERM.  Spawned by the supervisor.
+
+    *ready_conn* is this incarnation's own pipe end; exactly one
+    message — ``{"shard": ..., "port": ..., "pid": ...}`` — is sent
+    once the TCP front end is accepting, which is the supervisor's cue
+    that the shard is routable.  A private pipe per spawn (rather than
+    one queue shared across generations) means a SIGKILLed predecessor
+    can never wedge a successor's ready report: a queue's feeder-thread
+    lock dies with its holder, a fresh pipe has no shared state at all.
+    """
+    journal = None
+    journal_sink = None
+    if spec.journal_path:
+        journal_sink = open(spec.journal_path, "w", encoding="utf-8")
+        journal = EventJournal(stream=journal_sink, tags={"shard": spec.shard})
+    service = build_worker_service(spec, journal=journal)
+    server, _thread = start_server(
+        service,
+        host=spec.host,
+        port=0,
+        identity={"shard": spec.shard, "pid": os.getpid()},
+    )
+    stop = threading.Event()
+    try:
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+        signal.signal(signal.SIGINT, lambda *_: stop.set())
+    except ValueError:
+        pass  # not the main thread (in-process harness)
+    ready_conn.send(
+        {"shard": spec.shard, "port": server.port, "pid": os.getpid()}
+    )
+    ready_conn.close()
+    try:
+        while not stop.is_set():
+            stop.wait(0.2)
+    except KeyboardInterrupt:
+        pass
+    server.shutdown()
+    server.server_close()
+    service.shutdown()
+    if journal_sink is not None:
+        journal_sink.close()

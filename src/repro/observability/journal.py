@@ -35,7 +35,7 @@ from __future__ import annotations
 import json
 import threading
 import time
-from typing import IO, Iterator, Optional
+from typing import IO, Iterator, Mapping, Optional
 
 from repro.errors import ObservabilityError
 
@@ -70,6 +70,9 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     # -- resilience -----------------------------------------------------------
     "source.failure": frozenset({"sources", "error"}),
     "breaker.transition": frozenset({"source", "from_state", "to_state"}),
+    # -- cluster (router + supervisor) ----------------------------------------
+    "cluster.routed": frozenset({"shard"}),
+    "cluster.worker": frozenset({"shard", "state"}),
 }
 
 #: Envelope fields present on every record.
@@ -117,12 +120,23 @@ class EventJournal:
         capacity: int = 100_000,
         stream: Optional[IO[str]] = None,
         clock=time.time,
+        tags: Optional[Mapping[str, object]] = None,
     ) -> None:
         if capacity < 1:
             raise ObservabilityError(f"capacity must be >= 1, got {capacity}")
         self.enabled = enabled
         self.capacity = capacity
         self.clock = clock
+        #: Constant fields stamped on every record — how a cluster
+        #: worker marks all its events with its ``shard`` id, so one
+        #: request_id reconstructs a request's whole cross-process path
+        #: after the per-shard journal files are concatenated.
+        self.tags = dict(tags) if tags else {}
+        for reserved in ENVELOPE_FIELDS:
+            if reserved in self.tags:
+                raise ObservabilityError(
+                    f"journal tag {reserved!r} collides with an envelope field"
+                )
         self._stream = stream
         self._lock = threading.Lock()
         self._events: list[dict] = []
@@ -142,6 +156,8 @@ class EventJournal:
         if not self.enabled:
             return
         record: dict = {"event": event, "request_id": request_id}
+        if self.tags:
+            record.update(self.tags)
         record.update(fields)
         with self._lock:
             self._seq += 1

@@ -16,7 +16,7 @@ import csv
 import io
 import json
 import threading
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, Mapping, Optional, Sequence
 
 from repro.observability.tracing import Stopwatch
 
@@ -45,6 +45,10 @@ class Counter:
     def set(self, value: float) -> None:
         self.value = value
 
+    def absorb(self, payload: Mapping[str, object]) -> None:
+        """Fold another counter's export in: counts add up."""
+        self.value += float(payload.get("value", 0))  # type: ignore[arg-type]
+
     def as_dict(self) -> dict[str, object]:
         return {"kind": self.kind, "value": self.value}
 
@@ -67,6 +71,16 @@ class Gauge:
 
     def dec(self, amount: float = 1) -> None:
         self.value -= amount
+
+    def absorb(self, payload: Mapping[str, object]) -> None:
+        """Fold another gauge's export in: last write wins.
+
+        Gauges are point-in-time readings, so "sum across shards" is
+        usually meaningless (the cluster's ``service.active`` is the
+        sum, but a shard's heap depth is not); merge callers that need
+        a sum should export it as a counter instead.
+        """
+        self.value = float(payload.get("value", 0))  # type: ignore[arg-type]
 
     def as_dict(self) -> dict[str, object]:
         return {"kind": self.kind, "value": self.value}
@@ -147,6 +161,38 @@ class Histogram:
             "p99": self.quantile(0.99),
         }
 
+    def bucket_keys(self) -> tuple[str, ...]:
+        """The export keys of every bucket, in bound order."""
+        return tuple(f"le_{bound:g}" for bound in self.bounds) + ("le_inf",)
+
+    def absorb(self, payload: Mapping[str, object]) -> None:
+        """Fold another histogram's export in (same bucket layout).
+
+        Per-bucket counts, the observation count and the sum add up;
+        min/max extend.  Quantile estimates are *recomputed* from the
+        merged buckets, which is the whole point of merging counts
+        instead of averaging percentiles.
+        """
+        buckets = payload.get("buckets")
+        if not isinstance(buckets, Mapping):
+            raise ValueError(
+                f"histogram {self.name!r}: export has no buckets: {payload!r}"
+            )
+        keys = self.bucket_keys()
+        if set(map(str, buckets)) != set(keys):
+            raise ValueError(
+                f"histogram {self.name!r}: bucket layout mismatch "
+                f"({sorted(map(str, buckets))} vs {sorted(keys)})"
+            )
+        for index, key in enumerate(keys):
+            self.bucket_counts[index] += int(buckets[key])  # type: ignore[call-overload]
+        added = int(payload.get("count", 0))  # type: ignore[arg-type]
+        self.count += added
+        self.total += float(payload.get("sum", 0.0))  # type: ignore[arg-type]
+        if added > 0:
+            self.min = min(self.min, float(payload.get("min", self.min)))  # type: ignore[arg-type]
+            self.max = max(self.max, float(payload.get("max", self.max)))  # type: ignore[arg-type]
+
     def as_dict(self) -> dict[str, object]:
         return {
             "kind": self.kind,
@@ -162,6 +208,34 @@ class Histogram:
                 "le_inf": self.bucket_counts[-1],
             },
         }
+
+
+def _bounds_from_export(name: str, payload: Mapping[str, object]) -> tuple[float, ...]:
+    """Recover a histogram's bucket bounds from its ``as_dict`` export.
+
+    Bucket keys are ``le_{bound:g}`` plus the ``le_inf`` overflow;
+    ``%g`` round-trips through ``float`` exactly for the magnitudes a
+    latency histogram uses, so a registry merged from a JSON export
+    reconstructs the same layout the emitting process had.
+    """
+    buckets = payload.get("buckets")
+    if not isinstance(buckets, Mapping):
+        raise ValueError(
+            f"histogram {name!r}: export has no buckets: {payload!r}"
+        )
+    bounds: list[float] = []
+    for key in map(str, buckets):
+        if key == "le_inf":
+            continue
+        if not key.startswith("le_"):
+            raise ValueError(f"histogram {name!r}: bad bucket key {key!r}")
+        try:
+            bounds.append(float(key[3:]))
+        except ValueError:
+            raise ValueError(
+                f"histogram {name!r}: bad bucket key {key!r}"
+            ) from None
+    return tuple(sorted(bounds))
 
 
 class _HistogramTimer:
@@ -224,6 +298,41 @@ class MetricRegistry:
         return self._get_or_create(
             name, lambda: Histogram(name, bounds or DEFAULT_BUCKETS), "histogram"
         )
+
+    # -- merging ----------------------------------------------------------------
+
+    def merge(
+        self, other: "MetricRegistry | Mapping[str, Mapping[str, object]]"
+    ) -> "MetricRegistry":
+        """Fold another registry's metrics (or its export) into this one.
+
+        The cross-shard aggregation primitive, mirroring
+        :meth:`~repro.observability.tracing.Tracer.merge`: each worker
+        process owns a private registry and the router merges their
+        ``as_dict()`` exports into one cluster view.  Same-name metrics
+        combine by kind — counters sum, gauges keep the last write,
+        histograms absorb bucket-wise (see each metric's ``absorb``).
+        A name registered here under a different kind than in *other*
+        raises :class:`TypeError`, exactly like ``_get_or_create``.
+        Returns ``self`` for chaining.
+        """
+        exported = (
+            other.as_dict() if isinstance(other, MetricRegistry) else other
+        )
+        for name, payload in exported.items():
+            kind = str(payload.get("kind", ""))
+            if kind == "counter":
+                self.counter(name).absorb(payload)
+            elif kind == "gauge":
+                self.gauge(name).absorb(payload)
+            elif kind == "histogram":
+                bounds = _bounds_from_export(name, payload)
+                self.histogram(name, bounds=bounds).absorb(payload)
+            else:
+                raise ValueError(
+                    f"cannot merge metric {name!r} of unknown kind {kind!r}"
+                )
+        return self
 
     # -- introspection ----------------------------------------------------------
 

@@ -18,6 +18,7 @@ import dataclasses
 import socket
 import socketserver
 import threading
+from typing import Optional
 
 from repro.errors import ProtocolError, ServiceOverloadedError
 from repro.service import protocol
@@ -53,6 +54,13 @@ class _Handler(socketserver.StreamRequestHandler):
             try:
                 record = protocol.decode_line(line)
                 request_id = str(record.get("id", ""))
+                if record.get("type") in protocol.CONTROL_TYPES:
+                    # Probe/scrape records are answered inline — they
+                    # never enter admission control and never touch the
+                    # service counters, so a cluster health probe does
+                    # not skew the request metrics it is guarding.
+                    self._send(self._control_reply(record, request_id))
+                    continue
                 request = protocol.request_from_record(
                     record, default_policy=service.config.default_policy
                 )
@@ -98,6 +106,14 @@ class _Handler(socketserver.StreamRequestHandler):
             else:
                 self._send(protocol.summary_record(result))
 
+    def _control_reply(self, record: dict, request_id: str) -> dict:
+        service = self.server.service
+        if record.get("type") == "health":
+            return protocol.health_record(
+                request_id, identity=self.server.identity
+            )
+        return protocol.metrics_record(request_id, service.registry_export())
+
     def _send(self, record: dict) -> None:
         try:
             self.wfile.write(protocol.encode_line(record))
@@ -114,9 +130,19 @@ class ServiceTCPServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], service: QueryService) -> None:
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: QueryService,
+        *,
+        identity: Optional[dict] = None,
+    ) -> None:
         super().__init__(address, _Handler)
         self.service = service
+        #: Constant fields echoed in health replies — a cluster worker
+        #: announces its ``shard`` number here so a probe can detect a
+        #: port serving the wrong process after a restart race.
+        self.identity = dict(identity) if identity else {}
 
     @property
     def port(self) -> int:
@@ -127,6 +153,8 @@ def start_server(
     service: QueryService,
     host: str = "127.0.0.1",
     port: int = 0,
+    *,
+    identity: Optional[dict] = None,
 ) -> tuple[ServiceTCPServer, threading.Thread]:
     """Start serving in a background thread; ``port=0`` picks a free one.
 
@@ -134,7 +162,7 @@ def start_server(
     (and then ``service.shutdown()``).
     """
     service.start()
-    server = ServiceTCPServer((host, port), service)
+    server = ServiceTCPServer((host, port), service, identity=identity)
     thread = threading.Thread(
         target=server.serve_forever,
         kwargs={"poll_interval": 0.05},

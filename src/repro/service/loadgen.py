@@ -117,14 +117,31 @@ class LoadReport:
     plans_failed: int = 0
     fallback_successes: int = 0
     sources_skipped: set[str] = field(default_factory=set)
+    #: Per-shard breakdown, present only when replies carry a ``shard``
+    #: tag (i.e. the target is a cluster router, not a single worker).
+    shard_requests: dict[int, int] = field(default_factory=dict)
+    shard_latency: dict[int, LatencySummary] = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
         return self.completed / self.duration_s if self.duration_s > 0 else 0.0
 
+    @property
+    def shard_imbalance(self) -> float:
+        """Max/min per-shard request share; 1.0 is a perfect split.
+
+        Only shards that served at least one request participate — a
+        shard the hash ring never chose for this query mix says nothing
+        about router fairness.  0.0 when the target was not a router.
+        """
+        if not self.shard_requests:
+            return 0.0
+        counts = list(self.shard_requests.values())
+        return max(counts) / min(counts)
+
     def as_dict(self) -> dict[str, object]:
         """JSON-friendly form (the CI chaos-smoke artifact)."""
-        return {
+        result: dict[str, object] = {
             "sent": self.sent,
             "completed": self.completed,
             "errors": self.errors,
@@ -144,6 +161,16 @@ class LoadReport:
                 "sources_skipped": sorted(self.sources_skipped),
             },
         }
+        if self.shard_requests:
+            result["shards"] = {
+                str(shard): {
+                    "requests": self.shard_requests[shard],
+                    "last_answer": self.shard_latency[shard].as_dict(),
+                }
+                for shard in sorted(self.shard_requests)
+            }
+            result["shard_imbalance"] = self.shard_imbalance
+        return result
 
     def format_table(self) -> str:
         lines = [
@@ -176,6 +203,20 @@ class LoadReport:
                     f"{'fallback successes':<24} {self.fallback_successes}",
                     f"{'sources skipped':<24} {skipped}",
                 ]
+            )
+        if self.shard_requests:
+            total = sum(self.shard_requests.values()) or 1
+            for shard in sorted(self.shard_requests):
+                count = self.shard_requests[shard]
+                summary = self.shard_latency[shard]
+                lines.append(
+                    f"{f'shard {shard}':<24} "
+                    f"requests={count} ({100.0 * count / total:.0f}%) "
+                    f"p50={summary.p50:.4f} p90={summary.p90:.4f} "
+                    f"p99={summary.p99:.4f}"
+                )
+            lines.append(
+                f"{'shard imbalance':<24} {self.shard_imbalance:.2f}"
             )
         return "\n".join(lines)
 
@@ -283,6 +324,7 @@ class _ClientWorker(threading.Thread):
         self.plans_failed = 0
         self.fallback_successes = 0
         self.sources_skipped: set[str] = set()
+        self.shard_latencies: dict[int, list[float]] = {}
 
     def run(self) -> None:
         # A worker thread must never die with a traceback: every
@@ -371,6 +413,9 @@ class _ClientWorker(threading.Thread):
                 if first_answer_at is not None:
                     self.first_latencies.append(first_answer_at)
                 self.last_latencies.append(elapsed)
+                shard = reply.get("shard")
+                if isinstance(shard, int):
+                    self.shard_latencies.setdefault(shard, []).append(elapsed)
                 self._record_degradation(reply, answers)
                 return True
             elif kind == "error":
@@ -455,6 +500,7 @@ def run_load(
     report = LoadReport(duration_s=duration)
     first: list[float] = []
     last: list[float] = []
+    by_shard: dict[int, list[float]] = {}
     for worker in workers:
         report.sent += worker.sent
         report.completed += worker.completed
@@ -470,6 +516,11 @@ def run_load(
         report.sources_skipped.update(worker.sources_skipped)
         first.extend(worker.first_latencies)
         last.extend(worker.last_latencies)
+        for shard, values in worker.shard_latencies.items():
+            by_shard.setdefault(shard, []).extend(values)
     report.first_answer = LatencySummary.of(first)
     report.last_answer = LatencySummary.of(last)
+    for shard, values in sorted(by_shard.items()):
+        report.shard_requests[shard] = len(values)
+        report.shard_latency[shard] = LatencySummary.of(values)
     return report

@@ -33,6 +33,19 @@ Errors (bad request, overload) are terminal for that request::
 
     {"type": "error", "id": "q1", "code": "overloaded", "message": "..."}
 
+Besides queries, two **control records** are answered immediately (one
+reply line each) — the cluster layer's probe-and-scrape primitives,
+but any client may send them::
+
+    {"type": "health"}   -> {"type": "health", "status": "ok", ...}
+    {"type": "metrics"}  -> {"type": "metrics", "metrics": {...}}
+
+A health reply echoes the server's identity fields (e.g. the worker's
+``shard`` number); a metrics reply carries the full
+``MetricRegistry.as_dict()`` export, which the router feeds to
+:meth:`~repro.observability.metrics.MetricRegistry.merge` for
+cross-shard aggregation.
+
 Values inside answer tuples are JSON scalars when possible and
 ``str()``-ified otherwise; rows are sorted so payloads are stable
 across runs and safe to diff in tests.
@@ -50,17 +63,23 @@ from repro.service.policy import RequestPolicy, RetryPolicy
 from repro.service.server import QueryRequest, RequestResult
 
 __all__ = [
+    "CONTROL_TYPES",
     "PROTOCOL_VERSION",
     "batch_record",
     "decode_line",
     "encode_line",
     "error_record",
+    "health_record",
+    "metrics_record",
     "request_record",
     "request_from_record",
     "summary_record",
 ]
 
 PROTOCOL_VERSION = 1
+
+#: Record types answered with exactly one reply line, no session.
+CONTROL_TYPES = ("health", "metrics")
 
 _SCALARS = (str, int, float, bool, type(None))
 
@@ -230,3 +249,21 @@ def error_record(request_id: str, code: str, message: str) -> dict:
         "code": code,
         "message": message,
     }
+
+
+# -- control records -------------------------------------------------------------
+
+
+def health_record(
+    request_id: str = "", *, identity: Optional[dict] = None
+) -> dict:
+    """A liveness reply: ``status: ok`` plus the server's identity."""
+    record: dict = {"type": "health", "id": request_id, "status": "ok"}
+    if identity:
+        record.update(identity)
+    return record
+
+
+def metrics_record(request_id: str, metrics: dict) -> dict:
+    """A metrics-scrape reply carrying a registry ``as_dict`` export."""
+    return {"type": "metrics", "id": request_id, "metrics": metrics}

@@ -64,11 +64,13 @@ from repro.utility.base import UtilityMeasure
 from repro.utility.cost import LinearCost
 
 __all__ = [
+    "AUTO_ORDERER",
     "QueryRequest",
     "QueryService",
     "RequestResult",
     "ServiceConfig",
     "ORDERER_TABLE",
+    "resolve_orderer_name",
 ]
 
 #: Orderer constructors addressable over the wire.
@@ -80,6 +82,28 @@ ORDERER_TABLE: dict[str, Callable[[UtilityMeasure], object]] = {
     "greedy": GreedyOrderer,
     "anyk": AnyKOrderer,
 }
+
+#: The measure-dependent default: requests (and configs) naming this
+#: pseudo-orderer resolve per measure via :func:`resolve_orderer_name`.
+AUTO_ORDERER = "auto"
+
+
+def resolve_orderer_name(name: str, utility: UtilityMeasure) -> str:
+    """Resolve ``"auto"`` against a measure's structural flags.
+
+    Fully monotonic measures get :class:`AnyKOrderer` — its lattice
+    mode emits the first plan without materializing the product space,
+    with a stream byte-identical to PI's (the equivalence sweeps in
+    ``tests/ordering`` are the guarantee).  Everything else keeps the
+    conservative PI default, whose interval refinement is the paper's
+    reference behavior for non-monotonic measures.  Explicit names
+    pass through untouched, so ``--default-orderer pi`` and per-request
+    ``orderer`` overrides behave exactly as before.
+    """
+    if name != AUTO_ORDERER:
+        return name
+    return "anyk" if utility.is_fully_monotonic else "pi"
+
 
 #: Per-batch streaming callback (invoked from the session's thread).
 BatchCallback = Callable[[AnswerBatch], None]
@@ -95,7 +119,7 @@ class ServiceConfig:
     queue_depth: int = 8
     admission_timeout_s: float = 30.0
     default_measure: str = "linear"
-    default_orderer: str = "pi"
+    default_orderer: str = AUTO_ORDERER
     default_policy: RequestPolicy = field(default_factory=RequestPolicy)
     trace_requests: bool = False
 
@@ -301,6 +325,7 @@ class QueryService:
         return measure
 
     def _make_orderer(self, name: str, utility: UtilityMeasure):
+        name = resolve_orderer_name(name, utility)
         try:
             factory = ORDERER_TABLE[name]
         except KeyError:
@@ -327,6 +352,25 @@ class QueryService:
         if resilience is not None and resilience.registry is not self.registry:
             text += render_registry(resilience.registry)
         return text
+
+    def registry_export(self) -> dict:
+        """Every metric this service owns as one ``as_dict`` export.
+
+        The shard-scrape counterpart of :meth:`prometheus_text`: the
+        service registry plus (when distinct) the resilience registry,
+        merged name-wise so the cluster router can feed the result
+        straight into :meth:`MetricRegistry.merge`.
+        """
+        registry = self.registry  # snapshot methods lock internally
+        resilience = self.resilience
+        if resilience is not None and resilience.registry is not registry:
+            return (
+                MetricRegistry()
+                .merge(registry)
+                .merge(resilience.registry)
+                .as_dict()
+            )
+        return registry.as_dict()
 
     # -- execution ---------------------------------------------------------------
 
@@ -361,34 +405,46 @@ class QueryService:
             )
         self._m_accepted.inc()
         self._g_active.inc()
+        measure_name = request.measure or self.config.default_measure
+        orderer_name = request.orderer or self.config.default_orderer
+        if orderer_name == AUTO_ORDERER:
+            try:
+                orderer_name = resolve_orderer_name(
+                    orderer_name, self.shared_measure(measure_name)
+                )
+            except ServiceError:
+                # Unknown measure: leave "auto" in place; the session
+                # below reports the error through the usual path.
+                pass
         if self.journal.enabled:
             self.journal.emit(
                 "request.admitted",
                 request_id=request_id,
-                measure=request.measure or self.config.default_measure,
-                orderer=request.orderer or self.config.default_orderer,
+                measure=measure_name,
+                orderer=orderer_name,
             )
         try:
-            return self._run_admitted(request, request_id, policy, on_batch)
+            return self._run_admitted(
+                request_id, request.query, measure_name, orderer_name,
+                policy, on_batch,
+            )
         finally:
             self._g_active.dec()
             self._semaphore.release()
 
     def _run_admitted(
         self,
-        request: QueryRequest,
         request_id: str,
+        query: ConjunctiveQuery,
+        measure_name: str,
+        orderer_name: str,
         policy: RequestPolicy,
         on_batch: Optional[BatchCallback],
     ) -> RequestResult:
         tracer = Tracer(enabled=self.config.trace_requests)
         try:
-            utility = self.shared_measure(
-                request.measure or self.config.default_measure
-            )
-            orderer = self._make_orderer(
-                request.orderer or self.config.default_orderer, utility
-            )
+            utility = self.shared_measure(measure_name)
+            orderer = self._make_orderer(orderer_name, utility)
             session = PipelinedSession(
                 self.mediator,
                 executor_workers=self.config.executor_workers,
@@ -400,7 +456,7 @@ class QueryService:
             batches: list[AnswerBatch] = []
             answers: set = set()
             for batch in session.stream(
-                request.query,
+                query,
                 utility,
                 orderer=orderer,
                 policy=policy,

@@ -1,0 +1,57 @@
+"""Named service workloads: catalog + facts + measures + a query.
+
+One resolver shared by everything that boots a service around a
+bundled workload — the CLI's ``serve``/``bench-serve``, the perf
+baseline, and each cluster worker process (which must be able to
+rebuild its service from a picklable name+seed, not from live
+objects).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datalog.query import ConjunctiveQuery
+from repro.errors import ServiceError
+from repro.sources.catalog import Catalog
+
+__all__ = ["WORKLOAD_NAMES", "service_workload"]
+
+#: Names accepted by :func:`service_workload` (and the CLI flags).
+WORKLOAD_NAMES = ("movies", "random-lav")
+
+
+def service_workload(
+    name: str, seed: int
+) -> tuple[Catalog, dict, dict[str, Callable], ConjunctiveQuery]:
+    """(catalog, source_facts, measure factories, canonical query)."""
+    if name == "movies":
+        from repro.utility.cost import LinearCost
+        from repro.workloads.movies import movie_domain
+
+        domain = movie_domain()
+        return (
+            domain.catalog,
+            domain.source_facts,
+            {"linear": LinearCost},
+            domain.query,
+        )
+    if name != "random-lav":
+        raise ServiceError(
+            f"unknown workload {name!r}; have {', '.join(WORKLOAD_NAMES)}"
+        )
+    from repro.workloads.random_lav import ordering_scenario
+
+    scenario = ordering_scenario(seed)
+    measures = {
+        "linear": scenario.linear_cost,
+        "bind-join": scenario.bind_join_cost,
+        "coverage": scenario.coverage,
+        "monetary": scenario.monetary,
+    }
+    return (
+        scenario.scenario.catalog,
+        scenario.scenario.source_facts,
+        measures,
+        scenario.scenario.query,
+    )

@@ -1,0 +1,371 @@
+"""End-to-end tests of the router/worker cluster.
+
+Real processes, real sockets: a module-scoped two-worker cluster
+serves most tests (worker spawn is the expensive part), and the
+crash/restart tests get their own short-lived clusters.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.cluster.runtime import Cluster, worker_specs
+from repro.cluster.router import tag_line
+from repro.cluster.spec import ClusterConfig, WorkerSpec
+from repro.errors import ServiceError
+from repro.observability.journal import EventJournal
+from repro.observability.metrics import MetricRegistry
+from repro.observability.prometheus import render_registry
+from repro.service import protocol
+from repro.service.frontend import connect
+from repro.service.metricsd import start_metrics_server
+from repro.service.workloads import service_workload
+
+pytestmark = pytest.mark.slow
+
+QUERY = str(service_workload("movies", 0)[3])
+
+
+def send_request(stream, text, request_id, **kwargs):
+    """One request round trip; returns all reply records."""
+    stream.write(
+        protocol.encode_line(
+            protocol.request_record(text, request_id=request_id, **kwargs)
+        )
+    )
+    stream.flush()
+    replies = []
+    while True:
+        line = stream.readline()
+        assert line, "router closed the connection mid-request"
+        reply = protocol.decode_line(line)
+        replies.append(reply)
+        if reply["type"] in ("summary", "error"):
+            return replies
+
+
+def wait_router_idle(cluster, timeout_s=10.0):
+    """Until every admitted request has finished its router bookkeeping.
+
+    ``cluster.requests`` is incremented at admission, the outcome
+    counters a hair *after* the client already saw the terminal record
+    — so a scrape racing the router thread can be one increment short.
+    """
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        snapshot = cluster.registry.as_dict()
+        settled = sum(
+            snapshot[name]["value"]
+            for name in (
+                "cluster.routed",
+                "cluster.overloaded",
+                "cluster.shard_failed",
+                "cluster.unavailable",
+            )
+        )
+        if settled >= snapshot["cluster.requests"]["value"]:
+            return
+        time.sleep(0.01)
+    raise AssertionError("router never settled")
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    journal = EventJournal()
+    config = ClusterConfig(workers=2, probe_interval_s=0.2)
+    instance = Cluster(worker_specs(config), config, journal=journal)
+    instance.start()
+    try:
+        yield instance
+    finally:
+        instance.stop()
+
+
+class TestRouting:
+    def test_query_round_trip_is_shard_tagged(self, cluster):
+        with connect("127.0.0.1", cluster.port) as sock:
+            stream = sock.makefile("rwb")
+            replies = send_request(stream, QUERY, "r1")
+        summary = replies[-1]
+        assert summary["type"] == "summary"
+        assert summary["status"] == "ok"
+        shard = summary["shard"]
+        assert shard in (0, 1)
+        # Every line of the stream carries the same shard tag.
+        assert all(reply["shard"] == shard for reply in replies)
+        assert summary["answers"] > 0
+
+    def test_same_query_sticks_to_one_shard(self, cluster):
+        shards = set()
+        with connect("127.0.0.1", cluster.port) as sock:
+            stream = sock.makefile("rwb")
+            for i in range(5):
+                replies = send_request(stream, QUERY, f"sticky-{i}")
+                shards.add(replies[-1]["shard"])
+        assert len(shards) == 1  # cache affinity: one owner per query
+
+    def test_routing_matches_the_ring(self, cluster):
+        with connect("127.0.0.1", cluster.port) as sock:
+            stream = sock.makefile("rwb")
+            replies = send_request(stream, QUERY, "ring-1")
+        assert replies[-1]["shard"] == cluster.router.ring.shard_for(QUERY)
+
+    def test_bad_request_answered_by_router(self, cluster):
+        with connect("127.0.0.1", cluster.port) as sock:
+            stream = sock.makefile("rwb")
+            stream.write(b'{"type": "query"}\n')
+            stream.flush()
+            reply = protocol.decode_line(stream.readline())
+        assert reply["type"] == "error"
+        assert reply["code"] == "bad_request"
+
+    def test_router_health_identifies_itself(self, cluster):
+        with connect("127.0.0.1", cluster.port) as sock:
+            stream = sock.makefile("rwb")
+            stream.write(protocol.encode_line({"type": "health", "id": "h"}))
+            stream.flush()
+            reply = protocol.decode_line(stream.readline())
+        assert reply["status"] == "ok"
+        assert reply["role"] == "router"
+        assert reply["workers"] == 2
+        assert set(reply["breakers"]) == {"shard-0", "shard-1"}
+
+    def test_routed_events_are_journalled(self, cluster):
+        with connect("127.0.0.1", cluster.port) as sock:
+            stream = sock.makefile("rwb")
+            send_request(stream, QUERY, "journal-1")
+        # The emit happens a hair after the client sees the summary
+        # (the router thread finishes its bookkeeping); poll briefly.
+        deadline = time.monotonic() + 5.0
+        events = []
+        while time.monotonic() < deadline and not events:
+            events = cluster.journal.events(
+                request_id="journal-1", event="cluster.routed"
+            )
+            if not events:
+                time.sleep(0.01)
+        assert len(events) == 1
+        assert events[0]["shard"] in (0, 1)
+
+
+class TestAggregation:
+    def test_cluster_metrics_equal_merged_shard_scrapes(self, cluster):
+        # Drive some traffic first so the merge is not vacuous.
+        with connect("127.0.0.1", cluster.port) as sock:
+            stream = sock.makefile("rwb")
+            for i in range(3):
+                send_request(stream, QUERY, f"agg-{i}")
+        wait_router_idle(cluster)
+        # Quiesced now: control scrapes do not move any counters, so
+        # the independent client-side merge must match the cluster's
+        # own byte for byte.
+        expected = MetricRegistry().merge(cluster.registry)
+        for shard in cluster.supervisor.shards:
+            expected.merge(cluster.supervisor.scrape(shard))
+        assert cluster.prometheus_text() == render_registry(expected)
+
+    def test_counters_sum_across_shards(self, cluster):
+        wait_router_idle(cluster)
+        merged = cluster.merged_export()
+        requests_at_shards = sum(
+            cluster.supervisor.scrape(shard)["service.requests"]["value"]
+            for shard in cluster.supervisor.shards
+        )
+        assert merged["service.requests"]["value"] == requests_at_shards
+        assert merged["cluster.routed"]["value"] >= 1
+
+    def test_metrics_http_endpoint_serves_the_merge(self, cluster):
+        server, _thread = start_metrics_server(cluster.prometheus_text)
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{server.port}/metrics", timeout=10
+            ) as response:
+                body = response.read().decode("utf-8")
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert "cluster_routed" in body or "cluster.routed" in body
+        assert "service_requests" in body or "service.requests" in body
+
+    def test_metrics_control_record_returns_the_merge(self, cluster):
+        wait_router_idle(cluster)
+        with connect("127.0.0.1", cluster.port) as sock:
+            stream = sock.makefile("rwb")
+            stream.write(protocol.encode_line({"type": "metrics", "id": "m"}))
+            stream.flush()
+            reply = protocol.decode_line(stream.readline())
+        assert reply["type"] == "metrics"
+        # Same instant, quiesced: must equal an independent merge.
+        assert reply["metrics"] == cluster.merged_export()
+
+
+class TestTagLine:
+    def test_tag_splices_into_object_lines(self):
+        line = protocol.encode_line({"type": "summary", "id": "x"})
+        tagged = tag_line(line, 3)
+        record = protocol.decode_line(tagged)
+        assert record["shard"] == 3
+        assert record["id"] == "x"
+
+    def test_tag_is_pure_splice(self):
+        # Everything the worker wrote survives byte-for-byte; only the
+        # tag is inserted before the closing brace.
+        line = protocol.encode_line({"a": 1, "b": [1, 2]})
+        tagged = tag_line(line, 7)
+        assert tagged == line[:-2] + b', "shard": 7}\n'
+
+    def test_non_object_lines_pass_through(self):
+        assert tag_line(b"garbage\n", 1) == b"garbage\n"
+
+
+class TestCrashRecovery:
+    @pytest.fixture()
+    def crashy_cluster(self):
+        config = ClusterConfig(
+            workers=2,
+            probe_interval_s=0.1,
+            cooldown_s=0.3,
+            failure_threshold=1,
+        )
+        journal = EventJournal()
+        instance = Cluster(worker_specs(config), config, journal=journal)
+        instance.start()
+        try:
+            yield instance
+        finally:
+            instance.stop()
+
+    def _wait_restarted(self, cluster, shard, old_port, timeout_s=30.0):
+        """Until the shard is routable on a *new* incarnation's port."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            port = cluster.supervisor.port_of(shard)
+            if (
+                port is not None
+                and port != old_port
+                and cluster.supervisor.routable(shard)
+            ):
+                return
+            time.sleep(0.05)
+        raise AssertionError(f"shard {shard} never became routable again")
+
+    def test_killed_worker_is_restarted_and_serves_again(self, crashy_cluster):
+        cluster = crashy_cluster
+        shard = cluster.router.ring.shard_for(QUERY)
+        old_port = cluster.supervisor.port_of(shard)
+        handle = cluster.supervisor._handles[shard]
+        handle.process.kill()
+        handle.process.join(timeout=10.0)
+        self._wait_restarted(cluster, shard, old_port)
+        assert handle.restarts == 1
+        assert cluster.supervisor.port_of(shard) != old_port
+        with connect("127.0.0.1", cluster.port) as sock:
+            stream = sock.makefile("rwb")
+            replies = send_request(stream, QUERY, "after-restart")
+        assert replies[-1]["type"] == "summary"
+        assert replies[-1]["status"] == "ok"
+        states = [
+            event["state"]
+            for event in cluster.journal.events(event="cluster.worker")
+            if event["shard"] == shard
+        ]
+        assert "died" in states
+        assert "restarted" in states
+
+    def test_no_request_is_lost_during_a_crash(self, crashy_cluster):
+        # Clients hammer the cluster while one worker is killed; every
+        # single request must get a terminal record (summary or error),
+        # never a hang or a dropped stream.
+        cluster = crashy_cluster
+        shard = cluster.router.ring.shard_for(QUERY)
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def client(worker_id):
+            for i in range(10):
+                try:
+                    with connect("127.0.0.1", cluster.port, timeout=60) as s:
+                        stream = s.makefile("rwb")
+                        replies = send_request(
+                            stream, QUERY, f"crash-{worker_id}-{i}"
+                        )
+                    outcome = replies[-1]["type"]
+                except (OSError, ValueError, AssertionError):
+                    outcome = "transport_error"
+                with lock:
+                    outcomes.append(outcome)
+
+        threads = [
+            threading.Thread(target=client, args=(n,)) for n in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.1)
+        cluster.supervisor._handles[shard].process.kill()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not any(thread.is_alive() for thread in threads)
+        assert len(outcomes) == 30
+        # Terminal records for everyone; failover/shard_failed errors
+        # are acceptable outcomes, hangs and dropped streams are not.
+        assert all(
+            outcome in ("summary", "error") for outcome in outcomes
+        ), outcomes
+        assert outcomes.count("summary") >= 1
+
+
+class TestSpecValidation:
+    def test_worker_spec_validates(self):
+        with pytest.raises(ServiceError):
+            WorkerSpec(shard=-1)
+        with pytest.raises(ServiceError):
+            WorkerSpec(shard=0, workload="nope")
+
+    def test_cluster_config_validates(self):
+        with pytest.raises(ServiceError):
+            ClusterConfig(workers=0)
+        with pytest.raises(ServiceError):
+            ClusterConfig(backlog_per_shard=0)
+
+    def test_worker_specs_are_picklable(self):
+        import pickle
+
+        specs = worker_specs(ClusterConfig(workers=3), chaos={"faults": {}})
+        assert pickle.loads(pickle.dumps(specs)) == specs
+
+    def test_journal_dir_names_per_shard_files(self, tmp_path):
+        specs = worker_specs(
+            ClusterConfig(workers=2), journal_dir=str(tmp_path)
+        )
+        assert specs[0].journal_path.endswith("journal-shard0.jsonl")
+        assert specs[1].journal_path.endswith("journal-shard1.jsonl")
+
+    def test_duplicate_shards_rejected(self):
+        from repro.cluster.supervisor import ClusterSupervisor
+
+        with pytest.raises(ServiceError, match="duplicate"):
+            ClusterSupervisor(
+                [WorkerSpec(shard=0), WorkerSpec(shard=0)]
+            )
+
+
+class TestLoadgenAgainstRouter:
+    def test_run_load_collects_per_shard_stats(self, cluster):
+        from repro.service.loadgen import run_load
+
+        report = run_load(
+            "127.0.0.1", cluster.port, [QUERY], requests=8, concurrency=2
+        )
+        assert report.completed == 8
+        assert report.errors == 0
+        # One query -> one ring owner: every request lands on a single
+        # shard, and a lone shard is by definition perfectly balanced.
+        assert sum(report.shard_requests.values()) == 8
+        assert len(report.shard_requests) == 1
+        assert report.shard_imbalance == 1.0
+        (summary,) = report.shard_latency.values()
+        assert summary.count == 8
+        assert "shard imbalance" in report.format_table()

@@ -1,0 +1,106 @@
+"""Tests for the consistent-hash ring."""
+
+import collections
+
+import pytest
+
+from repro.cluster.hashing import ConsistentHashRing
+from repro.errors import ServiceError
+
+KEYS = [f"q(X{i}) :- rel{i % 7}(X{i}, Y)" for i in range(5000)]
+
+
+class TestPlacement:
+    def test_deterministic_across_instances(self):
+        # Two independently built rings agree on every placement —
+        # the property Python's salted builtin hash() cannot give,
+        # and the reason a router and offline tooling can agree.
+        a = ConsistentHashRing(range(4))
+        b = ConsistentHashRing(range(4))
+        assert [a.shard_for(k) for k in KEYS] == [b.shard_for(k) for k in KEYS]
+
+    def test_known_placements_are_stable(self):
+        # Pinned values: these may only change if the hash scheme
+        # changes, which is a routing-compatibility break.
+        ring = ConsistentHashRing(range(4))
+        assert ring.shard_for("q(X) :- rel0(X, Y)") == 2
+        assert ring.shard_for("q(X) :- rel1(X, Y)") == 3
+
+    def test_insertion_order_is_irrelevant(self):
+        a = ConsistentHashRing([0, 1, 2, 3])
+        b = ConsistentHashRing([3, 1, 0, 2])
+        assert [a.shard_for(k) for k in KEYS] == [b.shard_for(k) for k in KEYS]
+
+    def test_balance_is_roughly_even(self):
+        ring = ConsistentHashRing(range(4))
+        counts = collections.Counter(ring.shard_for(k) for k in KEYS)
+        assert set(counts) == {0, 1, 2, 3}
+        ideal = len(KEYS) / 4
+        for shard, count in counts.items():
+            assert 0.5 * ideal < count < 1.5 * ideal, (shard, counts)
+
+
+class TestMembershipChanges:
+    def test_adding_a_shard_moves_about_one_nth(self):
+        ring = ConsistentHashRing(range(4))
+        before = {key: ring.shard_for(key) for key in KEYS}
+        ring.add(4)
+        moved = sum(1 for key in KEYS if ring.shard_for(key) != before[key])
+        # Ideal is 1/5 of the key space; allow wide-but-damning bounds
+        # (modulo hashing would move ~4/5).
+        assert 0.10 < moved / len(KEYS) < 0.35
+
+    def test_moved_keys_all_land_on_the_new_shard(self):
+        ring = ConsistentHashRing(range(4))
+        before = {key: ring.shard_for(key) for key in KEYS}
+        ring.add(4)
+        for key in KEYS:
+            after = ring.shard_for(key)
+            if after != before[key]:
+                assert after == 4
+
+    def test_remove_restores_prior_placements(self):
+        ring = ConsistentHashRing(range(4))
+        before = {key: ring.shard_for(key) for key in KEYS}
+        ring.add(4)
+        ring.remove(4)
+        assert {key: ring.shard_for(key) for key in KEYS} == before
+
+    def test_membership_errors(self):
+        ring = ConsistentHashRing([0, 1])
+        with pytest.raises(ServiceError):
+            ring.add(1)
+        with pytest.raises(ServiceError):
+            ring.remove(7)
+        ring.remove(0)
+        with pytest.raises(ServiceError):
+            ring.remove(1)  # never remove the last shard
+
+    def test_constructor_validation(self):
+        with pytest.raises(ServiceError):
+            ConsistentHashRing([])
+        with pytest.raises(ServiceError):
+            ConsistentHashRing([0], replicas=0)
+
+
+class TestCandidates:
+    def test_candidates_cover_every_shard_once(self):
+        ring = ConsistentHashRing(range(5))
+        for key in KEYS[:50]:
+            order = list(ring.candidates(key))
+            assert sorted(order) == [0, 1, 2, 3, 4]
+
+    def test_primary_candidate_is_shard_for(self):
+        ring = ConsistentHashRing(range(5))
+        for key in KEYS[:200]:
+            assert next(ring.candidates(key)) == ring.shard_for(key)
+
+    def test_failover_order_differs_between_keys(self):
+        # The whole point of ring-order failover: an unhealthy shard's
+        # keys spill over *spread across* the others, not onto one
+        # unlucky neighbour.
+        ring = ConsistentHashRing(range(4))
+        second_choices = collections.Counter(
+            list(ring.candidates(key))[1] for key in KEYS[:1000]
+        )
+        assert len(second_choices) >= 3

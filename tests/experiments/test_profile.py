@@ -6,6 +6,7 @@ import pytest
 
 from repro.experiments.profile import (
     BASELINE_SCHEMA_VERSION,
+    check_cluster_profile,
     check_profile,
     run_profile,
 )
@@ -113,3 +114,120 @@ class TestCheckProfile:
         del doctored["overhead"]["journal_off_ratio"]
         problems = check_profile(doctored, max_overhead=5.0)
         assert any("journal_off_ratio" in problem for problem in problems)
+
+
+class TestStratifiedClusterMix:
+    @pytest.fixture(scope="class")
+    def mix(self):
+        from repro.experiments.profile import stratified_cluster_mix
+        from repro.service.workloads import service_workload
+
+        catalog, _, _, _ = service_workload("movies", 0)
+        return stratified_cluster_mix(catalog, 16, (2, 4), 0)
+
+    def test_mix_is_deterministic(self, mix):
+        from repro.experiments.profile import stratified_cluster_mix
+        from repro.service.workloads import service_workload
+
+        catalog, _, _, _ = service_workload("movies", 0)
+        assert stratified_cluster_mix(catalog, 16, (2, 4), 0) == mix
+
+    def test_mix_is_balanced_under_both_rings(self, mix):
+        import collections
+
+        from repro.cluster.hashing import ConsistentHashRing
+
+        assert len(mix) == len(set(mix)) == 16
+        counts4 = collections.Counter(
+            ConsistentHashRing(range(4)).shard_for(q) for q in mix
+        )
+        assert counts4 == {0: 4, 1: 4, 2: 4, 3: 4}
+        counts2 = collections.Counter(
+            ConsistentHashRing(range(2)).shard_for(q) for q in mix
+        )
+        # The 2-ring tolerates a +1 share; never worse.
+        assert set(counts2) == {0, 1}
+        assert max(counts2.values()) <= 9
+
+    def test_mix_has_uniform_work(self, mix):
+        from repro.datalog.parser import parse_query
+        from repro.reformulation.buckets import build_buckets
+        from repro.service.workloads import service_workload
+
+        catalog, _, _, _ = service_workload("movies", 0)
+        for text in mix:
+            parsed = parse_query(text)
+            assert len(parsed.body) == 2
+            assert build_buckets(parsed, catalog).size == 3
+
+
+class TestCheckClusterProfile:
+    def _document(self):
+        def arm(throughput, errors=0):
+            return {
+                "sent": 48,
+                "completed": 48,
+                "errors": errors,
+                "throughput_rps": throughput,
+            }
+
+        return {
+            "arms": {
+                "single": arm(10.0),
+                "workers_2": arm(18.0),
+                "workers_4": arm(32.0),
+            },
+            "scaling": {"workers_2": 1.8, "workers_4": 3.2},
+        }
+
+    def test_healthy_document_passes(self):
+        assert check_cluster_profile(self._document()) == []
+
+    def test_missing_single_arm_fails(self):
+        problems = check_cluster_profile({"arms": {}, "scaling": {}})
+        assert problems and "single" in problems[0]
+
+    def test_scaling_gate_enforced(self):
+        doc = self._document()
+        doc["scaling"]["workers_2"] = 1.1
+        problems = check_cluster_profile(doc)
+        assert any("2 workers" in p and "1.10x" in p for p in problems)
+
+    def test_absent_arm_is_not_a_failure(self):
+        doc = self._document()
+        del doc["arms"]["workers_4"]
+        del doc["scaling"]["workers_4"]
+        assert check_cluster_profile(doc) == []
+
+    def test_protocol_errors_fail(self):
+        doc = self._document()
+        doc["arms"]["workers_2"]["errors"] = 3
+        problems = check_cluster_profile(doc)
+        assert any("3 protocol errors" in p for p in problems)
+
+    def test_incomplete_arm_fails(self):
+        doc = self._document()
+        doc["arms"]["workers_4"]["completed"] = 40
+        problems = check_cluster_profile(doc)
+        assert any("40 of 48" in p for p in problems)
+
+
+@pytest.mark.slow
+class TestRunClusterProfile:
+    def test_quick_run_produces_a_gateable_document(self):
+        from repro.experiments.profile import run_cluster_profile
+
+        payload = run_cluster_profile(seed=0, quick=True)
+        assert payload["kind"] == "cluster"
+        assert set(payload["arms"]) == {"single", "workers_2"}
+        assert set(payload["scaling"]) == {"workers_2"}
+        for arm in payload["arms"].values():
+            assert arm["errors"] == 0
+            assert arm["completed"] == arm["sent"] == 48
+        # The cluster arm's per-shard section exists and sums up.
+        shards = payload["arms"]["workers_2"]["shards"]
+        assert sum(s["requests"] for s in shards.values()) == 48
+        # Structure only: the scaling *value* is gated by the CI
+        # perf-baseline job, not re-asserted under pytest noise.
+        assert payload["scaling"]["workers_2"] > 0
+        assert payload["gate"]["workers_2"] == 1.6

@@ -42,6 +42,8 @@ SAMPLE_FIELDS: dict[str, dict] = {
     "breaker.transition": {
         "source": "v2", "from_state": "closed", "to_state": "open",
     },
+    "cluster.routed": {"shard": 1},
+    "cluster.worker": {"shard": 1, "state": "restarted"},
 }
 
 
@@ -204,3 +206,32 @@ class TestReadJsonl:
     def test_non_object_rejected(self):
         with pytest.raises(ObservabilityError, match="not an object"):
             read_jsonl(["[1, 2]"])
+
+
+class TestTags:
+    """Constant fields stamped on every record (cluster shard ids)."""
+
+    def test_tags_appear_on_every_record(self):
+        journal = EventJournal(tags={"shard": 2}, clock=lambda: 1.0)
+        journal.emit("request.received", request_id="r1", query="q(X) :- rel0(X)")
+        journal.emit("cluster.routed", request_id="r1", shard=2)
+        for record in journal.events():
+            assert record["shard"] == 2
+        journal.validate()
+
+    def test_event_fields_win_over_tags(self):
+        journal = EventJournal(tags={"shard": 0})
+        journal.emit("cluster.routed", request_id="r1", shard=5)
+        (record,) = journal.events()
+        assert record["shard"] == 5
+
+    def test_envelope_collision_rejected(self):
+        with pytest.raises(ObservabilityError, match="collides"):
+            EventJournal(tags={"seq": 9})
+
+    def test_tags_survive_jsonl_round_trip(self):
+        journal = EventJournal(tags={"shard": 1}, clock=lambda: 1.0)
+        journal.emit("cluster.worker", shard=1, state="started")
+        (record,) = read_jsonl(journal.to_jsonl().splitlines())
+        assert record["shard"] == 1
+        validate_event(record)

@@ -195,3 +195,96 @@ class TestMetricRegistry:
         registry.counter("n").inc()
         registry.reset()
         assert len(registry) == 0
+
+
+class TestMetricRegistryMerge:
+    """The cross-shard aggregation primitive (mirrors Tracer.merge)."""
+
+    def test_counters_sum(self):
+        left, right = MetricRegistry(), MetricRegistry()
+        left.counter("service.requests").inc(3)
+        right.counter("service.requests").inc(4)
+        right.counter("service.errors").inc(1)
+        left.merge(right)
+        assert left.counter("service.requests").value == 7
+        assert left.counter("service.errors").value == 1
+        # The source registry is untouched.
+        assert right.counter("service.requests").value == 4
+
+    def test_gauges_last_write_wins(self):
+        left, right = MetricRegistry(), MetricRegistry()
+        left.gauge("service.active").set(2)
+        right.gauge("service.active").set(5)
+        left.merge(right)
+        assert left.gauge("service.active").value == 5
+
+    def test_histograms_absorb_bucketwise(self):
+        left, right = MetricRegistry(), MetricRegistry()
+        for value in (0.001, 0.2):
+            left.histogram("lat").observe(value)
+        for value in (0.05, 3.0):
+            right.histogram("lat").observe(value)
+        left.merge(right)
+        merged = left.histogram("lat")
+        assert merged.count == 4
+        assert merged.total == pytest.approx(0.001 + 0.2 + 0.05 + 3.0)
+        assert merged.min == pytest.approx(0.001)
+        assert merged.max == pytest.approx(3.0)
+        # Bucket-wise sum: the merged counts are what one registry
+        # observing all four values would have recorded.
+        oracle = Histogram("lat")
+        for value in (0.001, 0.2, 0.05, 3.0):
+            oracle.observe(value)
+        assert merged.bucket_counts == oracle.bucket_counts
+        assert merged.as_dict() == oracle.as_dict()
+
+    def test_merge_from_json_export_round_trip(self):
+        """Cross-process shape: merge from a JSON-round-tripped export."""
+        shard = MetricRegistry()
+        shard.counter("service.completed").inc(9)
+        shard.gauge("service.active").set(1)
+        shard.histogram("service.total_s").observe(0.42)
+        export = json.loads(json.dumps(shard.as_dict()))
+        merged = MetricRegistry().merge(export).merge(export)
+        assert merged.counter("service.completed").value == 18
+        assert merged.gauge("service.active").value == 1
+        histogram = merged.histogram("service.total_s")
+        assert histogram.count == 2
+        assert histogram.total == pytest.approx(0.84)
+        assert histogram.bounds == shard.histogram("service.total_s").bounds
+
+    def test_merge_custom_bounds_reconstructed(self):
+        shard = MetricRegistry()
+        shard.histogram("depth", bounds=(1.0, 2.5, 10.0)).observe(2.0)
+        merged = MetricRegistry().merge(
+            json.loads(json.dumps(shard.as_dict()))
+        )
+        assert merged.histogram("depth").bounds == (1.0, 2.5, 10.0)
+        assert merged.histogram("depth").count == 1
+
+    def test_merge_returns_self_for_chaining(self):
+        registry = MetricRegistry()
+        assert registry.merge(MetricRegistry()) is registry
+
+    def test_kind_mismatch_raises(self):
+        left, right = MetricRegistry(), MetricRegistry()
+        left.counter("x").inc()
+        right.gauge("x").set(1)
+        with pytest.raises(TypeError):
+            left.merge(right)
+
+    def test_bucket_layout_mismatch_raises(self):
+        left, right = MetricRegistry(), MetricRegistry()
+        left.histogram("lat", bounds=(1.0,)).observe(0.5)
+        right.histogram("lat", bounds=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_merge_empty_histogram_keeps_min_max(self):
+        left, right = MetricRegistry(), MetricRegistry()
+        left.histogram("lat").observe(0.25)
+        right.histogram("lat")  # registered, never observed
+        left.merge(right)
+        assert left.histogram("lat").count == 1
+        assert left.histogram("lat").min == pytest.approx(0.25)
+        assert left.histogram("lat").max == pytest.approx(0.25)

@@ -297,3 +297,70 @@ class TestClientHardening:
         assert report.sent == 3
         assert report.completed == 0
         assert report.errors == 3
+
+
+class TestControlRecords:
+    """Health probes and metric scrapes over the same connection."""
+
+    def test_health_reply_echoes_identity(self, movies):
+        service = QueryService(
+            movies.catalog,
+            movies.source_facts,
+            measures={"linear": LinearCost},
+        )
+        server, _thread = start_server(
+            service, port=0, identity={"shard": 3, "role": "worker"}
+        )
+        try:
+            with connect("127.0.0.1", server.port) as sock:
+                stream = sock.makefile("rwb")
+                stream.write(protocol.encode_line({"type": "health", "id": "h1"}))
+                stream.flush()
+                reply = protocol.decode_line(stream.readline())
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.shutdown()
+        assert reply == {
+            "type": "health",
+            "id": "h1",
+            "status": "ok",
+            "shard": 3,
+            "role": "worker",
+        }
+
+    def test_metrics_scrape_matches_registry_export(self, served, movies):
+        with connect("127.0.0.1", served.port) as sock:
+            stream = sock.makefile("rwb")
+            roundtrip(
+                stream, protocol.request_record(str(movies.query), request_id="m0")
+            )
+            stream.write(protocol.encode_line({"type": "metrics", "id": "m1"}))
+            stream.flush()
+            reply = protocol.decode_line(stream.readline())
+        assert reply["type"] == "metrics"
+        assert reply["id"] == "m1"
+        assert reply["metrics"] == served.service.registry_export()
+        assert reply["metrics"]["service.accepted"]["value"] == 1
+
+    def test_control_records_do_not_touch_request_counters(self, served):
+        before = served.service.registry_export()
+        with connect("127.0.0.1", served.port) as sock:
+            stream = sock.makefile("rwb")
+            for record in ({"type": "health"}, {"type": "metrics"}):
+                stream.write(protocol.encode_line(record))
+                stream.flush()
+                protocol.decode_line(stream.readline())
+        assert served.service.registry_export() == before
+
+    def test_queries_still_served_after_control_records(self, served, movies):
+        with connect("127.0.0.1", served.port) as sock:
+            stream = sock.makefile("rwb")
+            stream.write(protocol.encode_line({"type": "health"}))
+            stream.flush()
+            assert protocol.decode_line(stream.readline())["status"] == "ok"
+            replies = roundtrip(
+                stream, protocol.request_record(str(movies.query), request_id="c1")
+            )
+        assert replies[-1]["type"] == "summary"
+        assert replies[-1]["status"] == "ok"

@@ -7,6 +7,7 @@ from repro.datalog.parser import parse_query
 from repro.service.frontend import start_server
 from repro.service.loadgen import (
     LatencySummary,
+    LoadReport,
     build_query_mix,
     percentile,
     run_load,
@@ -126,3 +127,31 @@ class TestRunLoad:
     def test_empty_mix_rejected(self):
         with pytest.raises(ServiceError):
             run_load("127.0.0.1", 1, [], requests=1)
+
+
+class TestShardStats:
+    def test_single_server_reports_no_shards(self):
+        # A plain worker's replies carry no shard tag, so the report's
+        # shard section must be absent, not zero-filled.
+        report = LoadReport()
+        assert report.shard_imbalance == 0.0
+        assert "shards" not in report.as_dict()
+        assert "shard" not in report.format_table()
+
+    def test_shard_section_renders_when_present(self):
+        report = LoadReport(
+            shard_requests={0: 6, 1: 2},
+            shard_latency={
+                0: LatencySummary.of([0.01] * 6),
+                1: LatencySummary.of([0.02] * 2),
+            },
+        )
+        assert report.shard_imbalance == 3.0
+        data = report.as_dict()
+        assert data["shard_imbalance"] == 3.0
+        assert data["shards"]["0"]["requests"] == 6
+        assert data["shards"]["1"]["last_answer"]["p50_s"] == 0.02
+        table = report.format_table()
+        assert "shard 0" in table
+        assert "shard imbalance" in table
+        assert "3.00" in table

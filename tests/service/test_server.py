@@ -5,15 +5,20 @@ import threading
 import pytest
 
 from repro.errors import ServiceError, ServiceOverloadedError
+from repro.observability.journal import EventJournal
 from repro.observability.metrics import MetricRegistry
+from repro.service import protocol
 from repro.service.policy import RequestPolicy
 from repro.service.server import (
+    AUTO_ORDERER,
     QueryRequest,
     QueryService,
     RequestResult,
     ServiceConfig,
+    resolve_orderer_name,
 )
 from repro.utility.cost import LinearCost
+from repro.utility.coverage import CoverageUtility
 
 
 def make_service(movies, **config_kwargs):
@@ -154,9 +159,9 @@ class TestConcurrency:
         gate = threading.Event()
         original = service._run_admitted
 
-        def slow_run(request, request_id, policy, on_batch):
+        def slow_run(*args, **kwargs):
             gate.wait(timeout=10.0)
-            return original(request, request_id, policy, on_batch)
+            return original(*args, **kwargs)
 
         service._run_admitted = slow_run
         service.start()
@@ -186,3 +191,62 @@ class TestConcurrency:
             assert result.status == "rejected"
         finally:
             service._semaphore.release()
+
+
+class TestAutoOrderer:
+    """The "auto" pseudo-orderer resolves per measure's monotonicity."""
+
+    def test_auto_is_the_config_default(self):
+        assert ServiceConfig().default_orderer == AUTO_ORDERER
+
+    def test_monotonic_measure_resolves_to_anyk(self, movies):
+        service = make_service(movies)
+        utility = service.shared_measure("linear")
+        assert utility.is_fully_monotonic
+        assert resolve_orderer_name(AUTO_ORDERER, utility) == "anyk"
+
+    def test_non_monotonic_measure_resolves_to_pi(self):
+        assert not CoverageUtility.is_fully_monotonic
+        assert resolve_orderer_name(AUTO_ORDERER, CoverageUtility) == "pi"
+
+    def test_explicit_names_pass_through(self, movies):
+        service = make_service(movies)
+        utility = service.shared_measure("linear")
+        for name in ("pi", "greedy", "anyk", "nonsense"):
+            assert resolve_orderer_name(name, utility) == name
+
+    def test_journal_logs_the_resolved_name(self, movies):
+        journal = EventJournal()
+        service = QueryService(
+            movies.catalog,
+            movies.source_facts,
+            measures={"linear": LinearCost},
+            journal=journal,
+        )
+        result = service.execute(QueryRequest(query=movies.query))
+        assert result.ok
+        (admitted,) = journal.events(event="request.admitted")
+        assert admitted["orderer"] == "anyk"
+
+    def test_auto_stream_is_byte_identical_to_pi(self, movies):
+        # The whole point of the resolution rule: switching the default
+        # must be invisible on the wire.
+        service = make_service(movies)
+        auto = service.execute(QueryRequest(query=movies.query))
+        explicit = service.execute(
+            QueryRequest(query=movies.query, orderer="pi")
+        )
+        assert auto.ok and explicit.ok
+        encode = lambda result: [  # noqa: E731
+            protocol.encode_line(protocol.batch_record("x", batch))
+            for batch in result.batches
+        ]
+        assert encode(auto) == encode(explicit)
+
+    def test_unknown_measure_still_reports_error(self, movies):
+        service = make_service(movies)
+        result = service.execute(
+            QueryRequest(query=movies.query, measure="nope")
+        )
+        assert result.status == "error"
+        assert "unknown measure" in (result.error or "")

@@ -210,3 +210,31 @@ class TestForwarding:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+
+class TestBenchServeRouter:
+    def test_router_and_connect_are_mutually_exclusive(self, capsys):
+        code = main(
+            ["bench-serve", "--router", "2", "--connect", "127.0.0.1:1"]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_router_mode_reports_per_shard(self, capsys):
+        assert (
+            main(
+                [
+                    "bench-serve",
+                    "--router", "2",
+                    "--requests", "10",
+                    "--concurrency", "2",
+                    "--queries", "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "via 2-worker router" in out
+        assert "shard imbalance" in out
+        assert "errors                   0" in out
