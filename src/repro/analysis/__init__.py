@@ -1,7 +1,7 @@
 """Two-level static analysis for the repro codebase and its scenarios.
 
 The package hosts a shared diagnostics core (rule registry, severities,
-reporters, baseline files) and two rule families:
+reporters, baseline files) and three rule families:
 
 * the **scenario linter** (:mod:`repro.analysis.scenario`) checks a
   source catalog against a user query — unsafe views, unrecoverable
@@ -10,7 +10,11 @@ reporters, baseline files) and two rule families:
 * the **code linter** (:mod:`repro.analysis.code_rules`) enforces this
   repo's concurrency and contract discipline on the source tree —
   lock discipline, the lazy-orderer contract, production asserts,
-  swallowed broad excepts, and mutable default arguments.
+  swallowed broad excepts, and mutable default arguments;
+* the **concurrency analyzer** (:mod:`repro.analysis.concurrency`)
+  joins every module into one program model and reports lock-order
+  deadlock cycles, thread-escaping unguarded state, blocking calls
+  under held mutexes, and journal/wire contract violations.
 
 Entry points: ``repro lint`` on the command line, or
 :func:`repro.analysis.runner.run_lint` programmatically.
@@ -27,15 +31,23 @@ from repro.analysis.diagnostics import (
 from repro.analysis.registry import (
     DEFAULT_REGISTRY,
     FAMILY_CODE,
+    FAMILY_CONCURRENCY,
     FAMILY_SCENARIO,
     Rule,
     RuleRegistry,
 )
-from repro.analysis.reporting import render_json, render_text, summarize
+from repro.analysis.reporting import (
+    render_json,
+    render_sarif,
+    render_text,
+    summarize,
+)
 from repro.analysis.runner import (
     BUILTIN_SCENARIOS,
     LintResult,
     lint_code,
+    lint_concurrency,
+    lint_concurrency_sources,
     lint_scenario,
     lint_scenarios,
     lint_source,
@@ -48,6 +60,7 @@ __all__ = [
     "DEFAULT_REGISTRY",
     "Diagnostic",
     "FAMILY_CODE",
+    "FAMILY_CONCURRENCY",
     "FAMILY_SCENARIO",
     "LintResult",
     "Location",
@@ -57,12 +70,15 @@ __all__ = [
     "Severity",
     "apply_baseline",
     "lint_code",
+    "lint_concurrency",
+    "lint_concurrency_sources",
     "lint_scenario",
     "lint_scenarios",
     "lint_source",
     "load_baseline",
     "max_severity",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_lint",
     "sort_diagnostics",

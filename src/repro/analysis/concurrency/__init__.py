@@ -1,0 +1,45 @@
+"""The whole-program concurrency rule family (CON001–CON005).
+
+A two-phase pass over the entire source tree:
+
+1. **fact extraction** (:mod:`~repro.analysis.concurrency.facts`) —
+   each module is independently reduced to lock attributes, per-method
+   acquisition/access/call/blocking summaries, thread spawns, journal
+   emit sites, and wire-record literals;
+2. **whole-program solve** (:mod:`~repro.analysis.concurrency.model`)
+   — the facts are joined into one :class:`ProgramModel`: lock aliases
+   unified, the call graph resolved, may-acquire/may-block summaries
+   closed, and the lock-order graph built.
+
+The rules (:mod:`~repro.analysis.concurrency.rules`,
+:mod:`~repro.analysis.concurrency.contracts`) then read the model:
+deadlock cycles (CON001), thread-escaping unguarded state (CON002),
+blocking under a held mutex (CON003), and conformance of journal
+events / wire records to their live schemas (CON004/CON005).
+
+Entry point: :func:`analyze` — or ``repro lint --concurrency`` /
+``repro lint --select CON`` from the command line.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+# Importing the rule modules registers their checkers.
+from repro.analysis.concurrency import contracts as _contracts  # noqa: F401
+from repro.analysis.concurrency import rules as _rules  # noqa: F401
+from repro.analysis.concurrency.facts import ModuleFacts, extract_module
+from repro.analysis.concurrency.model import ProgramModel
+from repro.analysis.astutils import CodeModule
+
+__all__ = [
+    "ModuleFacts",
+    "ProgramModel",
+    "build_model",
+    "extract_module",
+]
+
+
+def build_model(modules: Iterable[CodeModule]) -> ProgramModel:
+    """Run both phases over already-parsed modules."""
+    return ProgramModel(extract_module(module) for module in modules)

@@ -1,0 +1,868 @@
+"""Phase 1 of the concurrency pass: per-module fact extraction.
+
+Each module is reduced to a :class:`ModuleFacts` record — classes,
+their lock attributes, and per-method summaries of what runs with
+which locks held.  Facts are purely syntactic and local to one file;
+:mod:`repro.analysis.concurrency.model` later joins them into a
+whole-program view (alias resolution, call-graph closure, lock-order
+graph).
+
+The extractor deliberately shares COD001's vocabulary (``with
+self.<lock>:`` regions, ``self.<attr>`` accesses) but records *where*
+and *under which locks* every access, call, and blocking operation
+happens, instead of collapsing to a guarded/unguarded bit.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.astutils import (
+    CodeModule,
+    attribute_chain,
+    base_names,
+    is_lock_name,
+)
+
+#: A dotted attribute path, e.g. ``("self", "registry", "lock")``.
+Chain = tuple[str, ...]
+
+#: ``threading`` constructor name -> lock kind.  The kind matters for
+#: cycle reporting: re-acquiring an RLock/Condition on the same
+#: instance is legal, re-acquiring a plain Lock self-deadlocks, and
+#: semaphores are admission bounds rather than mutexes.
+LOCK_CTORS = {
+    "Lock": "lock",
+    "RLock": "rlock",
+    "Condition": "condition",
+    "Semaphore": "semaphore",
+    "BoundedSemaphore": "semaphore",
+}
+
+#: Constructors whose instances are internally synchronized; attributes
+#: holding one are exempt from CON002 (the object IS the guard).
+THREADSAFE_CTORS = frozenset(
+    {
+        "Queue",
+        "LifoQueue",
+        "PriorityQueue",
+        "SimpleQueue",
+        "Event",
+        "Barrier",
+        "deque",
+        *LOCK_CTORS,
+    }
+)
+
+#: Attribute-call names treated as potentially long-blocking I/O.
+_SOCKET_BLOCKERS = frozenset(
+    {"recv", "recv_into", "accept", "sendall", "readline", "connect",
+     "create_connection"}
+)
+
+#: Receiver-name fragments that mark a ``.join()`` target as a
+#: thread/process handle rather than a string.
+_JOINABLE_FRAGMENTS = ("thread", "worker", "proc", "producer", "consumer")
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One lock acquisition site (``with`` item or ``.acquire()``)."""
+
+    chain: Chain
+    line: int
+    held: tuple[Chain, ...]
+
+
+@dataclass(frozen=True)
+class Access:
+    """One ``self.<attr>`` access with the locks held at that point."""
+
+    attr: str
+    line: int
+    is_write: bool
+    held: tuple[Chain, ...]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call, encoded for later whole-program resolution.
+
+    ``callee`` uses a small tag vocabulary:
+
+    * ``("self", "m")`` / ``("self", "attr.m")`` — method through self;
+    * ``("@local", "Type", "m")`` — method on a local whose constructor
+      ran in the same function;
+    * ``("@name", "f")`` — bare-name call (module function, sibling
+      nested def, or class constructor).
+    """
+
+    callee: Chain
+    line: int
+    held: tuple[Chain, ...]
+    #: Positional/keyword args that are themselves attribute chains
+    #: (``registry=self.registry``) — keyed by position int or kw name.
+    arg_chains: tuple[tuple[object, Chain], ...] = ()
+    #: Args that are direct constructor calls (``registry=MetricRegistry()``).
+    arg_ctors: tuple[tuple[object, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class BlockingCall:
+    """A potentially long-blocking operation and the locks around it."""
+
+    desc: str
+    kind: str
+    line: int
+    held: tuple[Chain, ...]
+    receiver: Optional[Chain] = None
+
+
+@dataclass(frozen=True)
+class ThreadSpawn:
+    """A thread entry point registered in this method.
+
+    ``target`` is ``("self", "method")`` (possibly a nested-def
+    qualname like ``stream.produce``), ``("self", "attr.method")`` for
+    a spawn through a typed attribute, or ``("func", "name")`` for a
+    module-level function target.
+    """
+
+    target: tuple[str, str]
+    line: int
+
+
+@dataclass
+class MethodFacts:
+    """Everything phase 2 needs to know about one function body."""
+
+    name: str
+    qualname: str
+    class_name: str
+    path: str
+    line: int
+    acquisitions: list[Acquisition] = field(default_factory=list)
+    accesses: list[Access] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    blocking: list[BlockingCall] = field(default_factory=list)
+    spawns: list[ThreadSpawn] = field(default_factory=list)
+
+
+@dataclass
+class ClassFacts:
+    """One class: its locks, aliases, and method summaries."""
+
+    name: str
+    path: str
+    line: int
+    bases: tuple[str, ...] = ()
+    #: attr -> lock kind, for locks constructed in this class.
+    lock_attrs: dict[str, str] = field(default_factory=dict)
+    #: attr -> __init__ parameter it aliases (``self._lock = lock``).
+    param_attrs: dict[str, str] = field(default_factory=dict)
+    #: attr -> class name of the constructor assigned to it.
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: attrs holding internally-synchronized objects (queues, events).
+    threadsafe_attrs: set[str] = field(default_factory=set)
+    #: method/property name -> own lock attr it returns.
+    lock_props: dict[str, str] = field(default_factory=dict)
+    #: __init__ parameters after self, in declaration order.
+    init_params: tuple[str, ...] = ()
+    methods: dict[str, MethodFacts] = field(default_factory=dict)
+
+    def is_thread_subclass(self) -> bool:
+        return any(base == "Thread" for base in self.bases)
+
+
+@dataclass(frozen=True)
+class EmitSite:
+    """One ``journal.emit(...)`` call site (for CON004)."""
+
+    event: Optional[str]
+    literal_kwargs: frozenset[str]
+    has_dynamic: bool
+    line: int
+    receiver: str
+
+
+@dataclass(frozen=True)
+class RecordLiteral:
+    """One ``{"type": ...}`` dict literal (for CON005)."""
+
+    type_value: str
+    #: Literal string keys, or None when the dict has dynamic parts.
+    keys: Optional[frozenset[str]]
+    line: int
+
+
+@dataclass
+class ModuleFacts:
+    """The phase-1 summary of one parsed module."""
+
+    path: str
+    module: CodeModule
+    classes: dict[str, ClassFacts] = field(default_factory=dict)
+    functions: dict[str, MethodFacts] = field(default_factory=dict)
+    emits: list[EmitSite] = field(default_factory=list)
+    records: list[RecordLiteral] = field(default_factory=list)
+    imports: set[str] = field(default_factory=set)
+
+
+# -- small helpers ------------------------------------------------------------------
+
+
+def _ctor_name(node: ast.AST) -> Optional[str]:
+    """The constructor name when *node* is ``X(...)``/``threading.X(...)``."""
+    if not isinstance(node, ast.Call):
+        return None
+    chain = attribute_chain(node.func)
+    if chain:
+        return chain[-1]
+    return None
+
+
+def _ctor_candidates(value: ast.expr) -> list[str]:
+    """Constructor names reachable through ``or``/ternary alternatives."""
+    names: list[str] = []
+    stack = [value]
+    while stack:
+        node = stack.pop()
+        name = _ctor_name(node)
+        if name is not None:
+            names.append(name)
+        elif isinstance(node, ast.IfExp):
+            stack.extend((node.body, node.orelse))
+        elif isinstance(node, ast.BoolOp):
+            stack.extend(node.values)
+    return names
+
+
+def _param_candidates(value: ast.expr, params: set[str]) -> list[str]:
+    """__init__ params the RHS may alias (directly or via or/ternary)."""
+    found: list[str] = []
+    stack = [value]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Name) and node.id in params:
+            found.append(node.id)
+        elif isinstance(node, ast.IfExp):
+            stack.extend((node.body, node.orelse))
+        elif isinstance(node, ast.BoolOp):
+            stack.extend(node.values)
+    return found
+
+
+def _lockish_chain(node: ast.AST) -> Optional[Chain]:
+    """The attribute chain of *node* when its last segment looks lock-ish."""
+    chain = attribute_chain(node)
+    if chain and len(chain) >= 2 and is_lock_name(chain[-1]):
+        return chain
+    return None
+
+
+def _has_timeout(call: ast.Call) -> bool:
+    if call.args:
+        return True
+    return any(kw.arg in ("timeout",) for kw in call.keywords)
+
+
+def _is_nonblocking(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if kw.arg in ("timeout",):
+            return True
+        if kw.arg in ("block", "blocking"):
+            if isinstance(kw.value, ast.Constant) and kw.value.value is False:
+                return True
+    return False
+
+
+def _queue_like(receiver: Chain, local_types: dict[str, str],
+                cls: Optional[ClassFacts]) -> bool:
+    last = receiver[-1].lower()
+    if "queue" in last or last == "q" or last.endswith("_q"):
+        return True
+    if receiver[0] == "self" and cls is not None and len(receiver) == 2:
+        return cls.attr_types.get(receiver[1], "") in (
+            "Queue", "LifoQueue", "PriorityQueue", "SimpleQueue"
+        )
+    if len(receiver) == 1:
+        return local_types.get(receiver[0], "") in (
+            "Queue", "LifoQueue", "PriorityQueue", "SimpleQueue"
+        )
+    return False
+
+
+def _joinable(receiver: Chain, local_types: dict[str, str]) -> bool:
+    last = receiver[-1].lower()
+    if any(fragment in last for fragment in _JOINABLE_FRAGMENTS):
+        return True
+    if len(receiver) == 1:
+        return local_types.get(receiver[0], "") in ("Thread", "Process")
+    return False
+
+
+# -- the per-function walker --------------------------------------------------------
+
+
+class _FunctionWalker:
+    """Walks one function body tracking the set of held locks.
+
+    ``with <lock>:`` regions are precise; a statement-level
+    ``.acquire()`` conservatively holds to the end of the enclosing
+    block unless a ``.release()`` on the same chain appears later in
+    that block.
+    """
+
+    def __init__(
+        self,
+        facts: MethodFacts,
+        sink: dict[str, MethodFacts],
+        local_types: dict[str, str],
+        class_facts: Optional[ClassFacts],
+    ) -> None:
+        self.facts = facts
+        self.sink = sink
+        self.local_types = dict(local_types)
+        self.cls = class_facts
+        self._held: list[Chain] = []
+
+    # -- held-set plumbing ----------------------------------------------------------
+
+    def _snapshot(self) -> tuple[Chain, ...]:
+        return tuple(self._held)
+
+    def _canon(self, chain: Chain) -> Chain:
+        """Rewrite a local-rooted chain to carry its receiver type.
+
+        ``run.cond`` where ``run = _SessionRun(...)`` becomes
+        ``("@type", "_SessionRun", "cond")`` so phase 2 can resolve it
+        without the (extraction-local) variable environment.
+        """
+        if chain and chain[0] != "self" and chain[0] in self.local_types:
+            return ("@type", self.local_types[chain[0]], *chain[1:])
+        return chain
+
+    # -- statements -----------------------------------------------------------------
+
+    def walk_body(self, body: list[ast.stmt]) -> None:
+        acquired_here: list[Chain] = []
+        for stmt in body:
+            released = self._walk_stmt(stmt, acquired_here)
+            for chain in released:
+                if chain in acquired_here:
+                    acquired_here.remove(chain)
+                    self._held.remove(chain)
+        for chain in acquired_here:
+            self._held.remove(chain)
+
+    def _walk_stmt(
+        self, stmt: ast.stmt, acquired_here: list[Chain]
+    ) -> list[Chain]:
+        """Walk one statement; returns chains released by it."""
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._walk_nested_def(stmt)
+            return []
+        if isinstance(stmt, ast.ClassDef):
+            return []
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._walk_with(stmt)
+            return []
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._walk_expr(stmt.test)
+            # `if not lock.acquire(timeout=...): return` — the success
+            # path below holds the lock for the rest of the block.
+            for call in self._own_calls(stmt.test):
+                chain = attribute_chain(call.func)
+                if (
+                    chain
+                    and len(chain) >= 2
+                    and chain[-1] == "acquire"
+                    and is_lock_name(chain[-2])
+                ):
+                    lock = self._canon(chain[:-1])
+                    if lock not in self._held:
+                        self.facts.acquisitions.append(
+                            Acquisition(lock, call.lineno, self._snapshot())
+                        )
+                        self._held.append(lock)
+                        acquired_here.append(lock)
+            self.walk_body(stmt.body)
+            self.walk_body(stmt.orelse)
+            return []
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._walk_expr(stmt.iter)
+            self._walk_expr(stmt.target)
+            self.walk_body(stmt.body)
+            self.walk_body(stmt.orelse)
+            return []
+        if isinstance(stmt, ast.Try):
+            self.walk_body(stmt.body)
+            for handler in stmt.handlers:
+                self.walk_body(handler.body)
+            self.walk_body(stmt.orelse)
+            self.walk_body(stmt.finalbody)
+            return []
+        # Leaf statements: record local constructor types, then walk
+        # every expression, then look for explicit acquire/release.
+        if isinstance(stmt, ast.Assign):
+            ctor = _ctor_name(stmt.value)
+            if ctor is not None:
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.local_types[target.id] = ctor
+        released: list[Chain] = []
+        for node in ast.iter_child_nodes(stmt):
+            self._walk_expr(node)
+        for call in self._own_calls(stmt):
+            chain = attribute_chain(call.func)
+            if not chain or len(chain) < 2:
+                continue
+            if chain[-1] == "acquire" and is_lock_name(chain[-2]):
+                lock = self._canon(chain[:-1])
+                if lock not in self._held:
+                    self.facts.acquisitions.append(
+                        Acquisition(lock, call.lineno, self._snapshot())
+                    )
+                    self._held.append(lock)
+                    acquired_here.append(lock)
+            elif chain[-1] == "release" and is_lock_name(chain[-2]):
+                released.append(self._canon(chain[:-1]))
+        return released
+
+    def _walk_with(self, stmt: ast.With | ast.AsyncWith) -> None:
+        pushed: list[Chain] = []
+        for item in stmt.items:
+            self._walk_expr(item.context_expr)
+            chain = _lockish_chain(item.context_expr)
+            if chain is not None:
+                chain = self._canon(chain)
+            if chain is not None and chain not in self._held:
+                self.facts.acquisitions.append(
+                    Acquisition(chain, item.context_expr.lineno,
+                                self._snapshot())
+                )
+                self._held.append(chain)
+                pushed.append(chain)
+        self.walk_body(stmt.body)
+        for chain in pushed:
+            self._held.remove(chain)
+
+    def _walk_nested_def(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        """A nested def becomes its own pseudo-method of the class.
+
+        Its body runs when *called* (possibly on another thread), so it
+        starts with an empty held set but inherits the enclosing local
+        constructor types (closures see those variables).
+        """
+        qualname = f"{self.facts.qualname}.{node.name}"
+        nested = MethodFacts(
+            name=node.name,
+            qualname=qualname,
+            class_name=self.facts.class_name,
+            path=self.facts.path,
+            line=node.lineno,
+        )
+        self.sink[qualname] = nested
+        walker = _FunctionWalker(nested, self.sink, self.local_types, self.cls)
+        walker.walk_body(node.body)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _own_calls(self, node: ast.AST) -> list[ast.Call]:
+        """Calls under *node*, nested function bodies excluded."""
+        found: list[ast.Call] = []
+        stack: list[ast.AST] = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(current, ast.Call):
+                found.append(current)
+            stack.extend(ast.iter_child_nodes(current))
+        return found
+
+    def _walk_expr(self, node: ast.AST) -> None:
+        """Record accesses/calls/blocking under *node* (no nested defs)."""
+        call_funcs: set[int] = set()
+        subscript_writes: set[int] = set()
+        stack: list[ast.AST] = [node]
+        order: list[ast.AST] = []
+        while stack:
+            current = stack.pop()
+            if isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            order.append(current)
+            if isinstance(current, ast.Call):
+                if isinstance(current.func, ast.Attribute) or isinstance(
+                    current.func, ast.Name
+                ):
+                    call_funcs.add(id(current.func))
+            if isinstance(current, ast.Subscript) and isinstance(
+                current.ctx, (ast.Store, ast.Del)
+            ):
+                subscript_writes.add(id(current.value))
+            stack.extend(ast.iter_child_nodes(current))
+        for current in order:
+            if isinstance(current, ast.Call):
+                self._record_call(current)
+            elif isinstance(current, ast.Attribute):
+                self._record_attribute(current, call_funcs, subscript_writes)
+
+    def _record_attribute(
+        self,
+        node: ast.Attribute,
+        call_funcs: set[int],
+        subscript_writes: set[int],
+    ) -> None:
+        if not (isinstance(node.value, ast.Name) and node.value.id == "self"):
+            return
+        if id(node) in call_funcs:
+            return
+        attr = node.attr
+        if is_lock_name(attr):
+            return
+        is_write = isinstance(node.ctx, (ast.Store, ast.Del)) or (
+            id(node) in subscript_writes
+        )
+        self.facts.accesses.append(
+            Access(attr, node.lineno, is_write, self._snapshot())
+        )
+
+    def _record_call(self, call: ast.Call) -> None:
+        func = call.func
+        chain = attribute_chain(func)
+        held = self._snapshot()
+        # Thread spawns.
+        spawn = self._spawn_target(call, chain)
+        if spawn is not None:
+            self.facts.spawns.append(ThreadSpawn(spawn, call.lineno))
+        # Blocking operations.
+        blocker = self._blocking(call, chain)
+        if blocker is not None:
+            self.facts.blocking.append(blocker)
+        # Call-graph edges.
+        callee = self._encode_callee(func, chain)
+        if callee is not None:
+            arg_chains: list[tuple[object, Chain]] = []
+            arg_ctors: list[tuple[object, str]] = []
+            for index, arg in enumerate(call.args):
+                self._classify_arg(index, arg, arg_chains, arg_ctors)
+            for kw in call.keywords:
+                if kw.arg is not None:
+                    self._classify_arg(kw.arg, kw.value, arg_chains, arg_ctors)
+            self.facts.calls.append(
+                CallSite(
+                    callee,
+                    call.lineno,
+                    held,
+                    tuple(arg_chains),
+                    tuple(arg_ctors),
+                )
+            )
+
+    @staticmethod
+    def _classify_arg(
+        key: object,
+        value: ast.expr,
+        arg_chains: list[tuple[object, Chain]],
+        arg_ctors: list[tuple[object, str]],
+    ) -> None:
+        chain = attribute_chain(value)
+        if chain is not None and chain[0] == "self":
+            arg_chains.append((key, chain))
+            return
+        ctor = _ctor_name(value)
+        if ctor is not None:
+            arg_ctors.append((key, ctor))
+
+    def _encode_callee(
+        self, func: ast.expr, chain: Optional[Chain]
+    ) -> Optional[Chain]:
+        if isinstance(func, ast.Name):
+            return ("@name", func.id)
+        if chain is None:
+            return None
+        if chain[0] == "self":
+            if len(chain) == 2:
+                return ("self", chain[1])
+            return ("self", ".".join(chain[1:]))
+        root = chain[0]
+        if root in self.local_types and len(chain) == 2:
+            return ("@local", self.local_types[root], chain[1])
+        return None
+
+    def _spawn_target(
+        self, call: ast.Call, chain: Optional[Chain]
+    ) -> Optional[tuple[str, str]]:
+        last = chain[-1] if chain else ""
+        target_expr: Optional[ast.expr] = None
+        if last == "Thread":
+            for kw in call.keywords:
+                if kw.arg == "target":
+                    target_expr = kw.value
+        elif last == "submit" and call.args:
+            # executor.submit(fn, ...) — only executor-ish receivers.
+            receiver = chain[:-1] if chain else ()
+            if receiver and "executor" in receiver[-1].lower():
+                target_expr = call.args[0]
+        if target_expr is None:
+            return None
+        target_chain = attribute_chain(target_expr)
+        if target_chain is not None and target_chain[0] == "self":
+            return ("self", ".".join(target_chain[1:]))
+        if isinstance(target_expr, ast.Name):
+            name = target_expr.id
+            # A sibling nested def becomes a pseudo-method qualname.
+            qual = f"{self.facts.qualname}.{name}"
+            if self.cls is not None and qual in self.sink:
+                return ("self", qual)
+            return ("func", name)
+        return None
+
+    def _blocking(
+        self, call: ast.Call, chain: Optional[Chain]
+    ) -> Optional[BlockingCall]:
+        if not chain:
+            return None
+        last = chain[-1]
+        receiver = chain[:-1]
+        held = self._snapshot()
+        if chain[0] == "subprocess":
+            return BlockingCall(
+                f"subprocess.{'.'.join(chain[1:])}()",
+                "subprocess", call.lineno, held,
+            )
+        if last in _SOCKET_BLOCKERS and receiver:
+            if last == "connect" and is_lock_name(receiver[-1]):
+                return None
+            return BlockingCall(
+                f"{'.'.join(chain)}()", "socket I/O", call.lineno, held,
+                receiver,
+            )
+        if last in ("get", "put") and receiver:
+            if _is_nonblocking(call):
+                return None
+            if not _queue_like(receiver, self.local_types, self.cls):
+                return None
+            return BlockingCall(
+                f"{'.'.join(chain)}() without timeout",
+                "queue wait", call.lineno, held, receiver,
+            )
+        if last == "join" and receiver and not _has_timeout(call):
+            if not _joinable(receiver, self.local_types):
+                return None
+            return BlockingCall(
+                f"{'.'.join(chain)}() without timeout",
+                "join", call.lineno, held, receiver,
+            )
+        if last == "wait" and receiver and not _has_timeout(call):
+            # cond.wait() under its own condition is the whole point of
+            # a condition variable — only flag it under *other* locks.
+            canon_receiver = self._canon(receiver)
+            others = tuple(h for h in held if h != canon_receiver)
+            if canon_receiver in held and not others:
+                return None
+            return BlockingCall(
+                f"{'.'.join(chain)}() without timeout",
+                "wait", call.lineno, others, canon_receiver,
+            )
+        return None
+
+
+# -- class- and module-level extraction ---------------------------------------------
+
+
+def _extract_class(cls: ast.ClassDef, path: str) -> ClassFacts:
+    facts = ClassFacts(
+        name=cls.name, path=path, line=cls.lineno, bases=base_names(cls)
+    )
+    init = next(
+        (
+            stmt
+            for stmt in cls.body
+            if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__"
+        ),
+        None,
+    )
+    init_params: set[str] = set()
+    if init is not None:
+        params = [
+            arg.arg
+            for arg in (*init.args.posonlyargs, *init.args.args)
+            if arg.arg != "self"
+        ]
+        params.extend(arg.arg for arg in init.args.kwonlyargs)
+        facts.init_params = tuple(params)
+        init_params = set(params)
+    # Attribute classification from every `self.x = ...` in the class.
+    for method in cls.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        in_init = method.name == "__init__"
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                attr = target.attr
+                ctors = _ctor_candidates(node.value)
+                for ctor in ctors:
+                    if ctor in LOCK_CTORS:
+                        facts.lock_attrs.setdefault(attr, LOCK_CTORS[ctor])
+                    elif ctor in THREADSAFE_CTORS:
+                        facts.threadsafe_attrs.add(attr)
+                    else:
+                        facts.attr_types.setdefault(attr, ctor)
+                if in_init:
+                    for param in _param_candidates(node.value, init_params):
+                        facts.param_attrs.setdefault(attr, param)
+                if is_lock_name(attr) and attr not in facts.lock_attrs:
+                    # A lock-named attr of unknown provenance still
+                    # participates in the graph, with unknown kind.
+                    if not ctors or all(
+                        c not in THREADSAFE_CTORS for c in ctors
+                    ):
+                        facts.lock_attrs.setdefault(attr, "unknown")
+        # Lock-returning helpers: `def lock(self): return self._lock`.
+        if not in_init and len(method.body) >= 1:
+            returns = [
+                stmt
+                for stmt in method.body
+                if isinstance(stmt, ast.Return) and stmt.value is not None
+            ]
+            if len(returns) == 1 and len(method.body) <= 2:
+                chain = attribute_chain(returns[0].value)
+                if (
+                    chain is not None
+                    and chain[0] == "self"
+                    and len(chain) == 2
+                    and is_lock_name(chain[1])
+                ):
+                    facts.lock_props[method.name] = chain[1]
+    # Per-method behavioral facts.
+    for method in cls.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        m_facts = MethodFacts(
+            name=method.name,
+            qualname=method.name,
+            class_name=cls.name,
+            path=path,
+            line=method.lineno,
+        )
+        facts.methods[method.name] = m_facts
+        walker = _FunctionWalker(m_facts, facts.methods, {}, facts)
+        walker.walk_body(method.body)
+    return facts
+
+
+def _extract_emits(tree: ast.Module, path: str) -> list[EmitSite]:
+    emits: list[EmitSite] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "emit"
+        ):
+            continue
+        chain = attribute_chain(node.func)
+        receiver = ".".join(chain[:-1]) if chain else ""
+        if "journal" not in receiver.lower():
+            continue
+        event: Optional[str] = None
+        if node.args and isinstance(node.args[0], ast.Constant) and isinstance(
+            node.args[0].value, str
+        ):
+            event = node.args[0].value
+        has_dynamic = any(kw.arg is None for kw in node.keywords) or (
+            bool(node.args) and event is None
+        )
+        literal_kwargs = frozenset(
+            kw.arg for kw in node.keywords if kw.arg is not None
+        )
+        emits.append(
+            EmitSite(event, literal_kwargs, has_dynamic, node.lineno, receiver)
+        )
+    return emits
+
+
+def _extract_records(tree: ast.Module, path: str) -> list[RecordLiteral]:
+    records: list[RecordLiteral] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Dict):
+            continue
+        type_value: Optional[str] = None
+        keys: set[str] = set()
+        dynamic = False
+        for key, value in zip(node.keys, node.values):
+            if key is None:  # **splat
+                dynamic = True
+                continue
+            if not (isinstance(key, ast.Constant) and isinstance(
+                key.value, str
+            )):
+                dynamic = True
+                continue
+            keys.add(key.value)
+            if key.value == "type":
+                if isinstance(value, ast.Constant) and isinstance(
+                    value.value, str
+                ):
+                    type_value = value.value
+        if type_value is None:
+            continue
+        records.append(
+            RecordLiteral(
+                type_value,
+                None if dynamic else frozenset(keys),
+                node.lineno,
+            )
+        )
+    return records
+
+
+def _extract_imports(tree: ast.Module) -> set[str]:
+    imports: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            imports.update(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            imports.add(node.module)
+    return imports
+
+
+def extract_module(module: CodeModule) -> ModuleFacts:
+    """Reduce one parsed module to its concurrency facts."""
+    facts = ModuleFacts(path=module.path, module=module)
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            cls_facts = _extract_class(stmt, module.path)
+            facts.classes[cls_facts.name] = cls_facts
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            m_facts = MethodFacts(
+                name=stmt.name,
+                qualname=stmt.name,
+                class_name="",
+                path=module.path,
+                line=stmt.lineno,
+            )
+            facts.functions[stmt.name] = m_facts
+            walker = _FunctionWalker(m_facts, facts.functions, {}, None)
+            walker.walk_body(stmt.body)
+    facts.emits = _extract_emits(module.tree, module.path)
+    facts.records = _extract_records(module.tree, module.path)
+    facts.imports = _extract_imports(module.tree)
+    return facts

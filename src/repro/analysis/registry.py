@@ -25,6 +25,7 @@ Checker = Callable[[object], Iterable[Diagnostic]]
 
 FAMILY_CODE = "code"
 FAMILY_SCENARIO = "scenario"
+FAMILY_CONCURRENCY = "concurrency"
 
 
 @dataclass(frozen=True)
@@ -60,7 +61,9 @@ class RuleRegistry:
             raise AnalysisError(f"duplicate rule id {rule.id!r}")
         if any(r.slug == rule.slug for r in self._rules.values()):
             raise AnalysisError(f"duplicate rule slug {rule.slug!r}")
-        if rule.family not in (FAMILY_CODE, FAMILY_SCENARIO):
+        if rule.family not in (
+            FAMILY_CODE, FAMILY_SCENARIO, FAMILY_CONCURRENCY
+        ):
             raise AnalysisError(f"unknown rule family {rule.family!r}")
         self._rules[rule.id] = rule
         self._checkers[rule.id] = checker

@@ -1,4 +1,4 @@
-"""Reporters: the same diagnostics as human text or machine JSON."""
+"""Reporters: the same diagnostics as text, JSON, or SARIF 2.1.0."""
 
 from __future__ import annotations
 
@@ -70,3 +70,100 @@ def render_json(
         "diagnostics": [d.as_dict() for d in ordered],
     }
     return json.dumps(payload, indent=2, sort_keys=False)
+
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Severity -> SARIF ``level``. SARIF has no "info"; "note" is its
+#: informational tier.
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _sarif_result(diagnostic: Diagnostic) -> dict:
+    location: dict = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": diagnostic.location.file},
+        }
+    }
+    if diagnostic.location.line:
+        region: dict = {"startLine": diagnostic.location.line}
+        if diagnostic.location.column:
+            region["startColumn"] = diagnostic.location.column
+        location["physicalLocation"]["region"] = region
+    result: dict = {
+        "ruleId": diagnostic.rule,
+        "level": _SARIF_LEVELS[diagnostic.severity],
+        "message": {"text": diagnostic.message},
+        "locations": [location],
+        "partialFingerprints": {
+            # The same fingerprint the baseline machinery uses, so a
+            # SARIF consumer's dedup matches `--baseline` exactly.
+            "reproLint/v1": diagnostic.fingerprint(),
+        },
+        "properties": {"family": diagnostic.family},
+    }
+    if diagnostic.fix_hint:
+        result["properties"]["fixHint"] = diagnostic.fix_hint
+    return result
+
+
+def render_sarif(
+    diagnostics: Sequence[Diagnostic],
+    *,
+    families: Sequence[str] = (),
+    registry=None,
+) -> str:
+    """The diagnostics as a single-run SARIF 2.1.0 log.
+
+    The rule catalog for ``tool.driver.rules`` comes from *registry*
+    (default: the process-wide :data:`DEFAULT_REGISTRY`), restricted to
+    *families* when given so the log only advertises rules the run
+    could actually have fired.
+    """
+    if registry is None:
+        from repro.analysis.registry import DEFAULT_REGISTRY
+
+        registry = DEFAULT_REGISTRY
+    wanted = set(families)
+    rules = [
+        {
+            "id": rule.id,
+            "name": rule.slug,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS[rule.severity],
+            },
+            "properties": {"family": rule.family},
+        }
+        for rule in registry
+        if not wanted or rule.family in wanted
+    ]
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": (
+                            "https://example.invalid/repro-lint"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    _sarif_result(d) for d in sort_diagnostics(diagnostics)
+                ],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=False)

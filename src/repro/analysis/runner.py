@@ -20,13 +20,16 @@ from typing import Callable, Iterable, Optional, Sequence
 
 # Importing the rule modules registers their checkers.
 from repro.analysis import code_rules as _code_rules  # noqa: F401
+from repro.analysis import concurrency as _concurrency_rules  # noqa: F401
 from repro.analysis import scenario as _scenario_rules  # noqa: F401
 from repro.analysis.astutils import CodeModule
 from repro.analysis.baseline import apply_baseline, load_baseline
+from repro.analysis.concurrency import build_model
 from repro.analysis.diagnostics import Diagnostic, Severity, sort_diagnostics
 from repro.analysis.registry import (
     DEFAULT_REGISTRY,
     FAMILY_CODE,
+    FAMILY_CONCURRENCY,
     FAMILY_SCENARIO,
     Rule,
     RuleRegistry,
@@ -123,6 +126,71 @@ def _lint_module(
                 continue
             diagnostics.append(diagnostic)
     return diagnostics
+
+
+# -- concurrency family ------------------------------------------------------------
+
+
+def lint_concurrency(
+    paths: Sequence[str],
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+    registry: RuleRegistry = DEFAULT_REGISTRY,
+) -> LintResult:
+    """Run the whole-program concurrency pass over files/directories.
+
+    Unlike the per-file code family, all modules are parsed first
+    (phase 1: fact extraction) and the rules run once over the joined
+    :class:`~repro.analysis.concurrency.model.ProgramModel` (phase 2).
+    Inline ``# lint: allow[...]`` directives still apply — findings
+    are mapped back to their module for suppression filtering.
+    """
+    rules = registry.resolve_selection(FAMILY_CONCURRENCY, select, ignore)
+    files = discover_python_files(paths)
+    modules = [CodeModule.from_file(path) for path in files]
+    diagnostics = _lint_program(modules, rules, registry)
+    return LintResult(
+        diagnostics=diagnostics,
+        families=(FAMILY_CONCURRENCY,),
+        targets=tuple(files),
+    )
+
+
+def lint_concurrency_sources(
+    sources: Sequence[tuple[str, str]],
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+    registry: RuleRegistry = DEFAULT_REGISTRY,
+) -> list[Diagnostic]:
+    """Run the concurrency pass over in-memory ``(path, source)``
+    pairs — the fixture tests' entry point."""
+    rules = registry.resolve_selection(FAMILY_CONCURRENCY, select, ignore)
+    modules = [
+        CodeModule.from_source(source, path) for path, source in sources
+    ]
+    return _lint_program(modules, rules, registry)
+
+
+def _lint_program(
+    modules: Sequence[CodeModule],
+    rules: Iterable[Rule],
+    registry: RuleRegistry,
+) -> list[Diagnostic]:
+    if not rules:
+        return []
+    by_path = {module.path: module for module in modules}
+    model = build_model(modules)
+    diagnostics = []
+    for rule in rules:
+        checker = registry.checker(rule.id)
+        for diagnostic in checker(model):
+            module = by_path.get(diagnostic.location.file)
+            if module is not None and module.allowed(
+                diagnostic.location.line, rule.id, rule.slug
+            ):
+                continue
+            diagnostics.append(diagnostic)
+    return sort_diagnostics(diagnostics)
 
 
 # -- scenario family ---------------------------------------------------------------
@@ -290,14 +358,18 @@ def run_lint(
     scenario_names: Sequence[str] = (),
     run_code: bool = False,
     run_scenarios: bool = False,
+    run_concurrency: bool = False,
     select: Sequence[str] = (),
     ignore: Sequence[str] = (),
     baseline_path: Optional[str] = None,
     registry: RuleRegistry = DEFAULT_REGISTRY,
 ) -> LintResult:
     """One ``repro lint`` invocation: families, selection, baseline."""
-    if not run_code and not run_scenarios:
-        raise AnalysisError("nothing to lint: enable --code and/or --scenario")
+    if not run_code and not run_scenarios and not run_concurrency:
+        raise AnalysisError(
+            "nothing to lint: enable --code, --scenario, and/or "
+            "--concurrency"
+        )
     diagnostics: list[Diagnostic] = []
     families: list[str] = []
     targets: list[str] = []
@@ -308,6 +380,15 @@ def run_lint(
         diagnostics.extend(result.diagnostics)
         families.extend(result.families)
         targets.extend(result.targets)
+    if run_concurrency:
+        result = lint_concurrency(
+            code_paths or ("src/repro",), select, ignore, registry
+        )
+        diagnostics.extend(result.diagnostics)
+        families.extend(result.families)
+        for target in result.targets:
+            if target not in targets:
+                targets.append(target)
     if run_scenarios:
         result = lint_scenarios(scenario_names, select, ignore, registry)
         diagnostics.extend(result.diagnostics)

@@ -22,6 +22,11 @@ single plan executes:
   each utility measure's declared structural flags: interval soundness,
   full monotonicity (preference keys vs. point utilities), context
   freeness, and utility-diminishing returns.
+* ``SCN007 monotonicity-misdeclaration`` — the operational consequence
+  of ``is_fully_monotonic`` that Greedy actually relies on: the plan
+  assembled from each bucket's best source by preference key must be
+  unbeaten by any sampled plan, and restricting the slots to exactly
+  that plan must collapse ``evaluate_slots`` onto its utility.
 
 The rules are deliberately conservative where the semantics are
 open-world: sources with equivalent views but different statistics are
@@ -585,3 +590,106 @@ def check_measure_properties(context: ScenarioContext) -> Iterator[Diagnostic]:
             yield from _check_context_freeness(context, measure, plans)
         if measure.has_diminishing_returns:
             yield from _check_diminishing_returns(context, measure, plans)
+
+
+# -- SCN007: the greedy consequence of full monotonicity ---------------------------
+
+
+def _greedy_plan_by_keys(
+    context: ScenarioContext, measure: UtilityMeasure
+) -> Optional[QueryPlan]:
+    """The plan Greedy would build: per bucket, the best preference key.
+
+    Ties break on source name so the check is deterministic.  Raises
+    :class:`UtilityError` when the measure defines no preference key —
+    callers skip then, because SCN006 already reports that mismatch.
+    """
+    choices = []
+    for bucket, members in enumerate(context.candidates()):
+        if not members:
+            return None
+        choices.append(
+            max(
+                members,
+                key=lambda source: (
+                    measure.source_preference_key(bucket, source),
+                    source.name,
+                ),
+            )
+        )
+    return QueryPlan(tuple(choices))
+
+
+@rule(
+    "SCN007",
+    "monotonicity-misdeclaration",
+    FAMILY_SCENARIO,
+    Severity.ERROR,
+    "greedy-by-preference-key plan is beaten despite is_fully_monotonic",
+    "SCN006 spot-checks single swaps; this rule checks the exchange "
+    "argument Greedy actually stands on: under full monotonicity the "
+    "per-bucket best preference keys compose into an unbeaten plan, "
+    "and slots restricted to exactly that plan leave evaluate_slots "
+    "a point interval around its utility.",
+)
+def check_monotonicity_misdeclaration(
+    context: ScenarioContext,
+) -> Iterator[Diagnostic]:
+    rng = random.Random(0)
+    plans = _sample_plans(context, rng)
+    if not plans:
+        return
+    for measure in context.measures:
+        if not measure.is_fully_monotonic:
+            continue
+        if not _supports_model(context, measure):
+            continue
+        try:
+            greedy = _greedy_plan_by_keys(context, measure)
+        except UtilityError:
+            continue  # no preference key at all: SCN006's finding
+        if greedy is None:
+            continue
+        fresh = measure.new_context()
+        greedy_value = measure.evaluate(greedy, fresh)
+        for plan in plans:
+            value = measure.evaluate(plan, fresh)
+            if value <= greedy_value + _EPS:
+                continue
+            yield _diagnostic(
+                context,
+                "SCN007",
+                Severity.ERROR,
+                f"measure {measure.name!r} misdeclares full "
+                f"monotonicity: greedy-by-key plan {greedy} has utility "
+                f"{greedy_value:g} but sampled plan {plan} reaches "
+                f"{value:g}",
+                fix_hint="clear is_fully_monotonic or fix "
+                "source_preference_key; Greedy would emit a "
+                "suboptimal first plan here",
+                measure=measure.name,
+                greedy=list(greedy.key),
+                better=list(plan.key),
+            )
+            break  # one counterexample per measure is enough
+        else:
+            # Unbeaten: the singleton restriction must collapse onto it.
+            restricted = tuple((source,) for source in greedy.sources)
+            interval = measure.evaluate_slots(restricted, fresh)
+            if not (
+                interval.lo - _EPS <= greedy_value <= interval.hi + _EPS
+            ):
+                yield _diagnostic(
+                    context,
+                    "SCN007",
+                    Severity.ERROR,
+                    f"measure {measure.name!r}: slots restricted to the "
+                    f"greedy plan {greedy} evaluate to "
+                    f"[{interval.lo:g}, {interval.hi:g}], which misses "
+                    f"the plan's own utility {greedy_value:g}",
+                    fix_hint="evaluate_slots on singleton slots must "
+                    "bound the one remaining plan; interval pruning "
+                    "reads this bound",
+                    measure=measure.name,
+                    greedy=list(greedy.key),
+                )

@@ -636,6 +636,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         DEFAULT_REGISTRY,
         Severity,
         render_json,
+        render_sarif,
         render_text,
         write_baseline,
     )
@@ -645,13 +646,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         for rule in DEFAULT_REGISTRY:
             print(
-                f"{rule.id}  {rule.slug:28s} {rule.family:9s} "
+                f"{rule.id}  {rule.slug:28s} {rule.family:12s} "
                 f"{str(rule.severity):8s} {rule.summary}"
             )
         return 0
 
-    run_code = args.code or not args.scenario
-    run_scenarios = args.scenario or not args.code
+    # Family flags narrow the run; with none given, all families run.
+    explicit = args.code or args.scenario or args.concurrency
+    run_code = args.code or not explicit
+    run_scenarios = args.scenario or not explicit
+    run_concurrency = args.concurrency or not explicit
     try:
         fail_on = Severity.from_name(args.fail_on)
         result = run_lint(
@@ -659,6 +663,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             scenario_names=tuple(args.workload or ()),
             run_code=run_code,
             run_scenarios=run_scenarios,
+            run_concurrency=run_concurrency,
             select=_split_patterns(args.select),
             ignore=_split_patterns(args.ignore),
             baseline_path=args.baseline,
@@ -677,6 +682,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             suppressed=result.suppressed,
             families=result.families,
             targets=result.targets,
+        )
+    elif args.format == "sarif":
+        report = render_sarif(
+            result.diagnostics, families=result.families
         )
     else:
         report = render_text(
@@ -878,6 +887,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                       help="run only the AST code rules")
     lint.add_argument("--scenario", action="store_true",
                       help="run only the scenario rules")
+    lint.add_argument("--concurrency", action="store_true",
+                      help="run only the whole-program concurrency rules")
     lint.add_argument("--workload", action="append", metavar="NAME",
                       help="scenario to lint (repeatable; default: all "
                            "bundled workloads)")
@@ -885,7 +896,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                       help="comma-separated rule ids/slugs/prefixes to run")
     lint.add_argument("--ignore", action="append", metavar="RULES",
                       help="comma-separated rule ids/slugs/prefixes to skip")
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text")
     lint.add_argument("--output", metavar="PATH", default=None,
                       help="write the report to PATH instead of stdout")
     lint.add_argument("--baseline", metavar="PATH", default=None,

@@ -127,8 +127,10 @@ class ClusterSupervisor:
         # any channel with a previous (possibly SIGKILLed) worker — a
         # shared mp.Queue can be wedged forever by a producer that died
         # holding its feeder lock, which is exactly how crash tests die.
-        if handle.ready_conn is not None:
-            handle.ready_conn.close()
+        with self._lock:
+            stale_conn, handle.ready_conn = handle.ready_conn, None
+        if stale_conn is not None:
+            stale_conn.close()
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=worker_main,
@@ -189,7 +191,12 @@ class ClusterSupervisor:
         if self._probe_thread is not None:
             self._probe_thread.join(timeout=5.0)
         for handle in self._handles.values():
-            process = handle.process
+            # Snapshot under the lock: if the probe thread outlived the
+            # join timeout it may still be inside _spawn reassigning
+            # handle.process, and a torn read here would terminate the
+            # old incarnation while the new one leaks.
+            with self._lock:
+                process = handle.process
             if process is None:
                 continue
             if process.is_alive():
@@ -198,9 +205,10 @@ class ClusterSupervisor:
             if process.is_alive():
                 process.kill()
                 process.join(timeout=5.0)
-            if handle.ready_conn is not None:
-                handle.ready_conn.close()
-                handle.ready_conn = None
+            with self._lock:
+                ready_conn, handle.ready_conn = handle.ready_conn, None
+            if ready_conn is not None:
+                ready_conn.close()
             self.journal.emit(
                 "cluster.worker", shard=handle.shard, state="stopped"
             )
@@ -302,6 +310,12 @@ class ClusterSupervisor:
         self.journal.emit(
             "cluster.worker", shard=handle.shard, state="died"
         )
+        if self._stop.is_set():
+            # stop() has begun terminating workers: it set the event
+            # before touching any process, so honouring it here closes
+            # the probe-loop window where a respawned worker would
+            # outlive the supervisor.
+            return
         if (
             not self.config.restart_crashed
             or handle.restarts >= self.config.max_restarts_per_shard

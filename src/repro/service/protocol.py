@@ -65,6 +65,7 @@ from repro.service.server import QueryRequest, RequestResult
 __all__ = [
     "CONTROL_TYPES",
     "PROTOCOL_VERSION",
+    "RECORD_TYPES",
     "batch_record",
     "decode_line",
     "encode_line",
@@ -80,6 +81,33 @@ PROTOCOL_VERSION = 1
 
 #: Record types answered with exactly one reply line, no session.
 CONTROL_TYPES = ("health", "metrics")
+
+#: The closed record-type table: every ``type`` value legal on the
+#: wire, mapped to the fields *any* instance of it must carry.  The
+#: sets are minimal-for-any-instance — a bare ``{"type": "health"}``
+#: probe is a complete request even though replies carry more — so the
+#: static checker (``CON005``) can hold every record literal in the
+#: frontend/router to them without flagging legitimate short forms.
+RECORD_TYPES: dict[str, frozenset[str]] = {
+    "query": frozenset({"query"}),
+    "batch": frozenset(
+        {
+            "id",
+            "rank",
+            "plan",
+            "utility",
+            "sound",
+            "skipped",
+            "failed",
+            "answers",
+            "new_answers",
+        }
+    ),
+    "summary": frozenset({"id", "status"}),
+    "error": frozenset({"id", "code", "message"}),
+    "health": frozenset(),
+    "metrics": frozenset(),
+}
 
 _SCALARS = (str, int, float, bool, type(None))
 

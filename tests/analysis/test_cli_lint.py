@@ -19,6 +19,20 @@ def pick(items):
     return items[0]
 """
 
+BLOCKING_MODULE = """\
+import threading
+
+
+class Sender:
+    def __init__(self, sock):
+        self._lock = threading.Lock()
+        self.sock = sock
+
+    def send(self, data):
+        with self._lock:
+            self.sock.sendall(data)
+"""
+
 
 @pytest.fixture
 def bad_file(tmp_path):
@@ -59,6 +73,41 @@ class TestExitCodes:
         assert "no such file" in capsys.readouterr().err
 
 
+class TestConcurrencyFlag:
+    @pytest.fixture
+    def blocking_file(self, tmp_path):
+        path = tmp_path / "sender.py"
+        path.write_text(BLOCKING_MODULE)
+        return str(path)
+
+    def test_concurrency_family_finds_the_seeded_bug(
+        self, blocking_file, capsys
+    ):
+        assert main(["lint", "--concurrency", blocking_file]) == 1
+        assert "CON003" in capsys.readouterr().out
+
+    def test_code_only_run_skips_con_rules(self, blocking_file, capsys):
+        assert main(["lint", "--code", blocking_file]) == 0
+        assert "CON003" not in capsys.readouterr().out
+
+    def test_default_run_includes_all_families(self, blocking_file, capsys):
+        assert main(["lint", blocking_file]) == 1
+        payload_out = capsys.readouterr().out
+        assert "CON003" in payload_out
+
+    def test_sarif_output(self, blocking_file, capsys):
+        code = main(["lint", "--concurrency", blocking_file,
+                     "--format", "sarif"])
+        assert code == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        (result,) = run["results"]
+        assert result["ruleId"] == "CON003"
+        assert result["partialFingerprints"]["reproLint/v1"]
+
+
 class TestScenarioFlag:
     def test_named_workload_runs_clean(self, capsys):
         assert main(["lint", "--scenario", "--workload", "movies"]) == 0
@@ -96,8 +145,9 @@ class TestOutputFormats:
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("COD001", "COD002", "COD003", "COD004", "COD005",
+                        "CON001", "CON002", "CON003", "CON004", "CON005",
                         "SCN001", "SCN002", "SCN003", "SCN004", "SCN005",
-                        "SCN006"):
+                        "SCN006", "SCN007"):
             assert rule_id in out
 
 

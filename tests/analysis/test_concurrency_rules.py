@@ -1,0 +1,336 @@
+"""Fixture corpus for the concurrency rule family (CON001–CON005).
+
+Every rule gets at least one seeded-bug fixture (known-true-positive)
+and a paired clean fixture differing only in the property under test,
+both run through :func:`lint_concurrency_sources` — the same two-phase
+pipeline ``repro lint --concurrency`` uses, minus the filesystem.
+"""
+
+import pytest
+
+from repro.analysis.runner import lint_concurrency_sources
+
+
+def rules_hit(*sources, **kwargs):
+    return [d.rule for d in lint_concurrency_sources(list(sources), **kwargs)]
+
+
+# -- CON001: lock-order cycles -----------------------------------------------------
+
+DEADLOCK_SRC = '''
+import threading
+
+
+class A:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.b = B(self)
+
+    def outer(self):
+        with self._lock:
+            self.b.poke()
+
+
+class B:
+    def __init__(self, parent):
+        self._lock = threading.Lock()
+        self.parent = parent
+
+    def poke(self):
+        with self._lock:
+            pass
+
+    def reverse(self):
+        with self._lock:
+            self.parent.outer()
+'''
+
+ORDERED_LOCKS_SRC = '''
+import threading
+
+
+class A:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.b = B()
+
+    def outer(self):
+        with self._lock:
+            self.b.poke()
+
+
+class B:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def poke(self):
+        with self._lock:
+            pass
+
+    def alone(self):
+        with self._lock:
+            pass
+'''
+
+
+class TestPotentialDeadlock:
+    def test_opposite_order_through_parent_pointer(self):
+        hits = rules_hit(("fx/deadlock.py", DEADLOCK_SRC), select=["CON001"])
+        assert "CON001" in hits
+
+    def test_cycle_witnesses_name_both_sites(self):
+        findings = lint_concurrency_sources(
+            [("fx/deadlock.py", DEADLOCK_SRC)], select=["CON001"]
+        )
+        cycles = [f for f in findings if "cycle" in f.message]
+        assert cycles, [f.message for f in findings]
+        assert cycles[0].data["witnesses"]
+
+    def test_consistent_order_is_clean(self):
+        assert rules_hit(
+            ("fx/ordered.py", ORDERED_LOCKS_SRC), select=["CON001"]
+        ) == []
+
+
+# -- CON002: unguarded shared state ------------------------------------------------
+
+UNGUARDED_SRC = '''
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self.count = 0
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._run)
+        self._thread.start()
+
+    def _run(self):
+        self.count += 1
+
+    def snapshot(self):
+        return self.count
+'''
+
+GUARDED_SRC = '''
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self.count = 0
+        self._lock = threading.Lock()
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._run)
+        self._thread.start()
+
+    def _run(self):
+        with self._lock:
+            self.count += 1
+
+    def snapshot(self):
+        with self._lock:
+            return self.count
+'''
+
+
+class TestUnguardedSharedState:
+    def test_thread_written_counter_without_lock(self):
+        findings = lint_concurrency_sources(
+            [("fx/unguarded.py", UNGUARDED_SRC)], select=["CON002"]
+        )
+        assert [f.rule for f in findings] == ["CON002"]
+        assert "count" in findings[0].message
+
+    def test_common_lock_on_both_sides_is_clean(self):
+        assert rules_hit(
+            ("fx/guarded.py", GUARDED_SRC), select=["CON002"]
+        ) == []
+
+
+# -- CON003: blocking under a held mutex -------------------------------------------
+
+BLOCKING_SRC = '''
+import threading
+
+
+class Sender:
+    def __init__(self, sock):
+        self._lock = threading.Lock()
+        self.sock = sock
+        self.sent = 0
+
+    def send(self, data):
+        with self._lock:
+            self.sock.sendall(data)
+            self.sent += 1
+'''
+
+NONBLOCKING_SRC = '''
+import threading
+
+
+class Sender:
+    def __init__(self, sock):
+        self._lock = threading.Lock()
+        self.sock = sock
+        self.sent = 0
+
+    def send(self, data):
+        self.sock.sendall(data)
+        with self._lock:
+            self.sent += 1
+'''
+
+
+class TestBlockingUnderLock:
+    def test_socket_io_inside_critical_section(self):
+        findings = lint_concurrency_sources(
+            [("fx/blocking.py", BLOCKING_SRC)], select=["CON003"]
+        )
+        assert [f.rule for f in findings] == ["CON003"]
+        assert "sendall" in findings[0].message
+
+    def test_io_outside_the_lock_is_clean(self):
+        assert rules_hit(
+            ("fx/nonblocking.py", NONBLOCKING_SRC), select=["CON003"]
+        ) == []
+
+    def test_inline_allow_suppresses_the_finding(self):
+        waived = BLOCKING_SRC.replace(
+            "self.sock.sendall(data)",
+            "self.sock.sendall(data)  "
+            "# lint: allow[CON003] flushed under lock by protocol design",
+        )
+        assert rules_hit(("fx/waived.py", waived), select=["CON003"]) == []
+
+
+# -- CON004: journal emit sites vs EVENT_SCHEMA ------------------------------------
+
+BAD_EMITS_SRC = '''
+class Service:
+    def __init__(self, journal):
+        self.journal = journal
+
+    def go(self):
+        self.journal.emit("no.such.event", value=1)
+        self.journal.emit("request.admitted", measure="linear")
+'''
+
+GOOD_EMITS_SRC = '''
+class Service:
+    def __init__(self, journal):
+        self.journal = journal
+
+    def go(self, extra):
+        self.journal.emit(
+            "request.admitted", measure="linear", orderer="greedy"
+        )
+        self.journal.emit("request.received", **extra)
+'''
+
+
+class TestJournalContract:
+    def test_unknown_event_and_missing_field(self):
+        findings = lint_concurrency_sources(
+            [("fx/bad_emits.py", BAD_EMITS_SRC)], select=["CON004"]
+        )
+        messages = sorted(f.message for f in findings)
+        assert len(findings) == 2
+        assert any("not in" in m for m in messages)
+        assert any("orderer" in m for m in messages)
+
+    def test_complete_and_dynamic_emits_are_clean(self):
+        assert rules_hit(
+            ("fx/good_emits.py", GOOD_EMITS_SRC), select=["CON004"]
+        ) == []
+
+
+# -- CON005: wire-record literals vs RECORD_TYPES ----------------------------------
+
+BAD_RECORDS_SRC = '''
+def bad(request_id):
+    return {"type": "bogus", "id": request_id}
+
+
+def partial(request_id):
+    return {"type": "error", "id": request_id}
+'''
+
+GOOD_RECORDS_SRC = '''
+def complete(request_id):
+    return {
+        "type": "error",
+        "id": request_id,
+        "code": "overloaded",
+        "message": "busy",
+    }
+
+
+def probe():
+    return {"type": "health"}
+'''
+
+
+class TestWireRecordContract:
+    def test_unknown_type_and_missing_keys(self):
+        findings = lint_concurrency_sources(
+            [("src/repro/service/fx_bad.py", BAD_RECORDS_SRC)],
+            select=["CON005"],
+        )
+        messages = sorted(f.message for f in findings)
+        assert len(findings) == 2
+        assert any("unknown type" in m for m in messages)
+        assert any("code" in m and "message" in m for m in messages)
+
+    def test_complete_records_are_clean(self):
+        assert rules_hit(
+            ("src/repro/service/fx_good.py", GOOD_RECORDS_SRC),
+            select=["CON005"],
+        ) == []
+
+    def test_modules_outside_the_wire_are_exempt(self):
+        # Same literals, but the module neither lives under service/
+        # nor imports the protocol: CON005 does not apply.
+        assert rules_hit(
+            ("src/repro/utility/fx_bad.py", BAD_RECORDS_SRC),
+            select=["CON005"],
+        ) == []
+
+
+# -- cross-rule: the corpus as one program -----------------------------------------
+
+
+class TestWholeCorpus:
+    def test_every_rule_fires_on_the_seeded_corpus(self):
+        hits = set(
+            rules_hit(
+                ("fx/deadlock.py", DEADLOCK_SRC),
+                ("fx/unguarded.py", UNGUARDED_SRC),
+                ("fx/blocking.py", BLOCKING_SRC),
+                ("fx/bad_emits.py", BAD_EMITS_SRC),
+                ("src/repro/service/fx_bad.py", BAD_RECORDS_SRC),
+            )
+        )
+        assert hits == {"CON001", "CON002", "CON003", "CON004", "CON005"}
+
+    def test_the_clean_corpus_is_silent(self):
+        assert rules_hit(
+            ("fx/ordered.py", ORDERED_LOCKS_SRC),
+            ("fx/guarded.py", GUARDED_SRC),
+            ("fx/nonblocking.py", NONBLOCKING_SRC),
+            ("fx/good_emits.py", GOOD_EMITS_SRC),
+            ("src/repro/service/fx_good.py", GOOD_RECORDS_SRC),
+        ) == []
+
+    def test_unknown_select_pattern_is_an_error(self):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            lint_concurrency_sources(
+                [("fx/ordered.py", ORDERED_LOCKS_SRC)], select=["CONX"]
+            )

@@ -321,3 +321,95 @@ class TestMeasureProperties:
         context = scenario(catalog, "q(X) :- r(X), s(X)",
                            measures=(UnsoundIntervalMeasure(),))
         assert rules_hit(context, select=["SCN006"]) == []
+
+
+# -- SCN007: the greedy consequence of full monotonicity ---------------------------
+
+
+class SourceSensitiveMeasure(UtilityMeasure):
+    """Utility 2 with source v2 in the plan, 1 otherwise; honest key."""
+
+    name = "source-sensitive"
+    is_fully_monotonic = True
+    context_free = True
+    has_diminishing_returns = True
+
+    def _value(self, plan):
+        return 2.0 if any(s.name == "v2" for s in plan.sources) else 1.0
+
+    def evaluate(self, plan, context):
+        return self._value(plan)
+
+    def evaluate_slots(self, slots, context):
+        names = {s.name for members in slots for s in members}
+        hi = 2.0 if "v2" in names else 1.0
+        avoidable = all(
+            any(s.name != "v2" for s in members) for members in slots
+        )
+        return Interval(1.0 if avoidable else 2.0, hi)
+
+    def source_preference_key(self, bucket, source):
+        return 1.0 if source.name == "v2" else 0.0
+
+
+class ReversedKeyMeasure(SourceSensitiveMeasure):
+    """Same utility, but the preference key prefers the worse source."""
+
+    name = "reversed-key"
+
+    def source_preference_key(self, bucket, source):
+        return 0.0 if source.name == "v2" else 1.0
+
+
+class PointBlindMeasure(SourceSensitiveMeasure):
+    """Unbeaten greedy plan, but singleton slots miss its utility."""
+
+    name = "point-blind"
+
+    def evaluate_slots(self, slots, context):
+        if all(len(members) == 1 for members in slots):
+            return Interval(-9.0, -5.0)
+        return Interval(1.0, 2.0)
+
+
+class TestMonotonicityMisdeclaration:
+    @pytest.fixture
+    def catalog(self):
+        catalog = Catalog({"r": 1})
+        catalog.add_source("v1(X) :- r(X)")
+        catalog.add_source("v2(X) :- r(X)", stats=SourceStats(n_tuples=7))
+        return catalog
+
+    QUERY = "q(X) :- r(X)"
+
+    def test_honest_key_is_clean(self, catalog):
+        context = scenario(catalog, self.QUERY,
+                           measures=(SourceSensitiveMeasure(),))
+        assert rules_hit(context, select=["SCN007"]) == []
+
+    def test_catches_reversed_preference_key(self, catalog):
+        context = scenario(catalog, self.QUERY,
+                           measures=(ReversedKeyMeasure(),))
+        (finding,) = lint_scenario(context, select=["SCN007"])
+        assert "misdeclares full monotonicity" in finding.message
+        assert finding.data["greedy"] == ["v1"]
+        assert finding.data["better"] == ["v2"]
+
+    def test_catches_singleton_interval_miss(self, catalog):
+        context = scenario(catalog, self.QUERY,
+                           measures=(PointBlindMeasure(),))
+        findings = lint_scenario(context, select=["SCN007"])
+        assert any(
+            "misses the plan's own utility" in f.message for f in findings
+        )
+
+    def test_keyless_claim_is_left_to_scn006(self, catalog):
+        context = scenario(catalog, self.QUERY,
+                           measures=(KeylessMonotonicMeasure(),))
+        assert rules_hit(context, select=["SCN007"]) == []
+        assert rules_hit(context, select=["SCN006"]) == ["SCN006"]
+
+    def test_non_monotonic_measures_are_skipped(self, catalog):
+        context = scenario(catalog, self.QUERY,
+                           measures=(ConstantMeasure(),))
+        assert rules_hit(context, select=["SCN007"]) == []

@@ -1,0 +1,95 @@
+"""Determinism guarantees of the lint pipeline.
+
+CI diffs lint reports and parks findings in baseline files, so two
+properties are load-bearing:
+
+* a double run over identical inputs renders **byte-identical** JSON —
+  no set-iteration order, timestamps, or ids may leak into the report;
+* a diagnostic's fingerprint survives unrelated edits (line insertions
+  above it), so baselines don't churn on every refactor.
+"""
+
+import json
+
+from repro.analysis.reporting import render_json, render_sarif
+from repro.analysis.runner import lint_concurrency_sources, run_lint
+
+BUGGY_SRC = '''
+import threading
+
+
+class Sender:
+    def __init__(self, sock):
+        self._lock = threading.Lock()
+        self.sock = sock
+        self.sent = 0
+
+    def send(self, data):
+        with self._lock:
+            self.sock.sendall(data)
+            self.sent += 1
+'''
+
+
+def lint_fixture(source=BUGGY_SRC):
+    return lint_concurrency_sources([("fx/sender.py", source)])
+
+
+class TestDoubleRunIdentity:
+    def test_fixture_reports_are_byte_identical(self):
+        first = lint_fixture()
+        second = lint_fixture()
+        assert first, "fixture must produce findings for this to mean much"
+        kwargs = dict(families=["concurrency"], targets=["fx/sender.py"])
+        assert render_json(first, **kwargs) == render_json(second, **kwargs)
+        assert render_sarif(first) == render_sarif(second)
+
+    def test_real_tree_run_is_byte_identical(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(BUGGY_SRC)
+        reports = []
+        for _ in range(2):
+            result = run_lint(
+                code_paths=(str(target),),
+                run_code=True,
+                run_concurrency=True,
+            )
+            reports.append(
+                render_json(
+                    result.diagnostics,
+                    suppressed=result.suppressed,
+                    families=result.families,
+                    targets=result.targets,
+                )
+            )
+        assert reports[0] == reports[1]
+        assert json.loads(reports[0])["summary"]["total"] >= 1
+
+    def test_diagnostics_come_out_in_canonical_order(self):
+        ordering = [
+            (d.location.file, d.location.line, d.rule)
+            for d in lint_fixture()
+        ]
+        assert ordering == sorted(ordering)
+
+
+class TestFingerprintStability:
+    def test_fingerprint_survives_unrelated_line_insertions(self):
+        baseline = {d.fingerprint() for d in lint_fixture()}
+        shifted_src = "# an unrelated comment\n" * 5 + BUGGY_SRC
+        shifted = lint_fixture(shifted_src)
+        assert baseline
+        assert {d.fingerprint() for d in shifted} == baseline
+
+    def test_lines_did_move_so_the_invariance_is_real(self):
+        plain = {d.location.line for d in lint_fixture()}
+        shifted_src = "# an unrelated comment\n" * 5 + BUGGY_SRC
+        shifted = {d.location.line for d in lint_fixture(shifted_src)}
+        assert plain and shifted and plain != shifted
+
+    def test_fingerprint_distinguishes_files_and_messages(self):
+        findings = lint_concurrency_sources(
+            [("fx/a.py", BUGGY_SRC), ("fx/b.py", BUGGY_SRC)]
+        )
+        fingerprints = [d.fingerprint() for d in findings]
+        assert len(fingerprints) == len(set(fingerprints))
