@@ -192,7 +192,58 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"  worst-first: first answer at t={worst_first.time_to_first_success:.1f}, "
         f"all done at t={worst_first.total_time:.1f}"
     )
+    if args.adaptive:
+        adaptive_report, reorders = _simulate_adaptive(args, domain, sim_seed)
+        first = adaptive_report.time_to_first_success
+        first_text = f"{first:.1f}" if first is not None else "never"
+        print(
+            f"  adaptive   : first answer at t={first_text}, "
+            f"all done at t={adaptive_report.total_time:.1f} "
+            f"({reorders} mid-stream re-order(s))"
+        )
     return 0
+
+
+def _simulate_adaptive(args: argparse.Namespace, domain, sim_seed: int):
+    """Replay the simulation with health-fed mid-stream re-ordering.
+
+    The simulator's health tracker observes every virtual access; the
+    epoch is bumped whenever a run added failures, so the adaptive
+    orderer re-checks its frontier exactly when the simulated health
+    picture moved — the serve-path feedback loop on the virtual clock.
+    """
+    from repro.execution.simulator import ExecutionSimulator, SimulationReport
+    from repro.ordering.adaptive import AdaptiveOrderer
+    from repro.resilience.health import HealthEpoch, SourceHealthTracker
+    from repro.resilience.measure import HealthAwareMeasure
+
+    tracker = SourceHealthTracker()
+    epoch = HealthEpoch()
+    live = HealthAwareMeasure(
+        domain.failure_cost(), tracker, min_observations=1
+    )
+    orderer = AdaptiveOrderer(
+        live,
+        inner_factory=lambda measure: _make_orderer(args.orderer, measure),
+        epoch=epoch,
+    )
+    simulator = ExecutionSimulator(
+        access_overhead=1.0,
+        domain_sizes=domain.domain_sizes,
+        seed=sim_seed,
+        health=tracker,
+    )
+    report = SimulationReport()
+    failures_seen = 0
+    for entry in orderer.order(domain.space, args.k):
+        report.runs.append(simulator.run_plan(entry.plan))
+        total_failures = sum(
+            health.failures for health in tracker.snapshot().values()
+        )
+        if total_failures != failures_seen:
+            failures_seen = total_failures
+            epoch.bump()
+    return report, orderer.reorders
 
 
 def _service_workload(name: str, seed: int):
@@ -213,8 +264,18 @@ def _chaos_setup(args: argparse.Namespace):
         backend = ChaosBackend(
             bundled_profile(args.chaos), seed=getattr(args, "chaos_seed", 0)
         )
+        manager_kwargs: dict = {}
+        cooldown = getattr(args, "breaker_cooldown", None)
+        if cooldown is not None:
+            from repro.resilience.breaker import BreakerBoard
+
+            manager_kwargs["board"] = BreakerBoard(cooldown_s=cooldown)
+        min_observations = getattr(args, "min_observations", None)
+        if min_observations is not None:
+            manager_kwargs["min_observations"] = min_observations
         resilience = ResilienceManager(
-            breakers=not getattr(args, "no_breakers", False)
+            breakers=not getattr(args, "no_breakers", False),
+            **manager_kwargs,
         )
     return backend, resilience
 
@@ -314,12 +375,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if getattr(args, "workers", 1) > 1:
         return _cmd_cluster(args)
     catalog, facts, measures, _ = _service_workload(args.workload, args.seed)
+    overrides = {
+        name: value
+        for name, value in (
+            ("default_measure", getattr(args, "default_measure", None)),
+            ("queue_depth", getattr(args, "queue_depth", None)),
+            ("executor_workers", getattr(args, "executor_workers", None)),
+        )
+        if value is not None
+    }
     config = ServiceConfig(
         max_concurrent=args.max_concurrent,
         backlog=args.backlog,
         default_orderer=args.default_orderer,
         default_policy=RequestPolicy(deadline_s=args.deadline),
         trace_requests=args.trace,
+        adaptivity=args.adaptive,
+        **overrides,
     )
     backend, resilience = _chaos_setup(args)
     journal = None
@@ -427,7 +499,10 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             catalog,
             facts,
             measures=measures,
-            config=ServiceConfig(max_concurrent=args.max_concurrent),
+            config=ServiceConfig(
+                max_concurrent=args.max_concurrent,
+                adaptivity=args.adaptive,
+            ),
             backend=backend,
             resilience=resilience,
         )
@@ -507,6 +582,48 @@ def _cmd_anyk_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_adaptive_profile(args: argparse.Namespace) -> int:
+    import json
+    from datetime import datetime, timezone
+
+    from repro.experiments.profile import (
+        check_adaptive_profile,
+        run_adaptive_profile,
+    )
+
+    payload = run_adaptive_profile(
+        seed=args.seed,
+        quick=args.quick,
+        timestamp=datetime.now(timezone.utc).isoformat(),
+    )
+    for arm in ("fixed", "adaptive"):
+        data = payload["arms"][arm]
+        print(
+            f"{arm:<11} first answer p50 {data['ttfa_p50_s'] * 1e3:7.1f} ms, "
+            f"p90 {data['ttfa_p90_s'] * 1e3:7.1f} ms over {data['trials']} "
+            f"cold-start trials ({sum(data['reorders'])} re-orders)"
+        )
+    print(
+        f"ratio       adaptive/fixed TTFA p90 "
+        f"{payload['ttfa_p90_ratio']:.2f}x "
+        f"(gate {payload['gate']['max_ttfa_ratio']:.2f}x); healthy streams "
+        f"{'identical' if payload['healthy']['identical'] else 'DIVERGED'}"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline written to {args.out}")
+    if args.check:
+        problems = check_adaptive_profile(payload)
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("check passed: adaptive TTFA within the ratio gate")
+    return 0
+
+
 def _cmd_cluster_profile(args: argparse.Namespace) -> int:
     import json
     from datetime import datetime, timezone
@@ -555,6 +672,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         return _cmd_anyk_profile(args)
     if args.cluster:
         return _cmd_cluster_profile(args)
+    if args.adaptive:
+        return _cmd_adaptive_profile(args)
     payload = run_profile(
         seed=args.seed,
         quick=args.quick,
@@ -764,6 +883,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     simulate.add_argument("--orderer", default="pi", choices=ORDERER_CHOICES,
                           help="ordering algorithm for the executed plans")
     simulate.add_argument("-k", type=int, default=10)
+    simulate.add_argument("--adaptive", action="store_true",
+                          help="add a third run that re-orders mid-stream "
+                               "from the simulator's observed source health")
 
     serve = sub.add_parser("serve", help="JSON-lines TCP query service")
     serve.add_argument("--workload", default="movies",
@@ -797,6 +919,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     serve.add_argument("--no-breakers", action="store_true",
                        help="with --chaos: keep health tracking and graceful "
                             "degradation but never skip plans behind breakers")
+    serve.add_argument("--adaptive", nargs="?", const="on", default="auto",
+                       choices=("auto", "on", "off"),
+                       help="mid-stream re-ordering from live source health "
+                            "(auto: on for --orderer auto requests when the "
+                            "resilience layer is active; bare --adaptive "
+                            "forces on)")
+    serve.add_argument("--default-measure", metavar="NAME", default=None,
+                       help="measure for requests that do not name one "
+                            "(default: the workload's first measure; the "
+                            "movie workload also ships 'failure', a "
+                            "failure-aware bind-join cost that reacts to "
+                            "observed source health)")
+    serve.add_argument("--queue-depth", type=int, default=None,
+                       help="per-request pipeline depth between ordering "
+                            "and execution; 1 keeps the producer close "
+                            "enough to execution for mid-stream re-ordering "
+                            "to affect not-yet-emitted plans")
+    serve.add_argument("--executor-workers", type=int, default=None,
+                       help="per-request plan-execution threads")
+    serve.add_argument("--breaker-cooldown", type=float, default=None,
+                       metavar="SECONDS",
+                       help="with --chaos: open-breaker cooldown before a "
+                            "half-open probe (default 5.0)")
+    serve.add_argument("--min-observations", type=int, default=None,
+                       metavar="N",
+                       help="with --chaos: source accesses observed before "
+                            "health-aware measures trust the failure rate "
+                            "(default 3)")
     serve.add_argument("--metrics-port", type=int, default=None,
                        help="also expose Prometheus text on "
                             "http://HOST:PORT/metrics (0 picks a free port)")
@@ -875,6 +1025,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                        help="seed for deterministic chaos failure draws")
     bench.add_argument("--no-breakers", action="store_true",
                        help="with --chaos: disable breaker skipping")
+    bench.add_argument("--adaptive", nargs="?", const="on", default="auto",
+                       choices=("auto", "on", "off"),
+                       help="in-process mode: mid-stream re-ordering from "
+                            "live source health (bare --adaptive forces on)")
     bench.add_argument("--degradation-out", metavar="PATH", default=None,
                        help="write the load report (including the "
                             "degradation summary) to PATH as JSON")
@@ -930,11 +1084,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                               "(BENCH_PR7.json): single process vs 2 and 4 "
                               "router-fronted workers on a sleep-bound "
                               "workload")
+    profile.add_argument("--adaptive", action="store_true",
+                         help="run the adaptive-vs-fixed ordering baseline "
+                              "(BENCH_PR9.json): cold-start time-to-first-"
+                              "answer with and without mid-stream "
+                              "re-ordering under seeded outage chaos")
     profile.add_argument("--check", action="store_true",
                          help="fail (exit 1) when disabled journal hooks "
                               "exceed the 5%% overhead bound (with --anyk: "
                               "the first-plan speedup gate; with --cluster: "
-                              "the throughput scaling gates)")
+                              "the throughput scaling gates; with "
+                              "--adaptive: the TTFA ratio gate)")
 
     dump = sub.add_parser("metrics-dump",
                           help="metrics JSON export -> Prometheus text")

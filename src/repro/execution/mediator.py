@@ -34,6 +34,7 @@ from repro.execution.engine import evaluate_conjunctive_query
 from repro.observability.journal import EventJournal, NOOP_JOURNAL
 from repro.observability.metrics import MetricRegistry
 from repro.observability.tracing import NOOP_TRACER, Stopwatch, Tracer
+from repro.ordering.adaptive import AdaptiveOrderer
 from repro.ordering.base import PlanOrderer
 from repro.ordering.bruteforce import PIOrderer
 from repro.reformulation.buckets import build_buckets
@@ -171,6 +172,27 @@ class Mediator:
     def resolve_budget(self, space: PlanSpace, max_plans: Optional[int]) -> int:
         return space.size if max_plans is None else min(max_plans, space.size)
 
+    def make_orderer(
+        self, utility: UtilityMeasure, *, adaptive: bool = False
+    ) -> PlanOrderer:
+        """An orderer from the configured factory, optionally adaptive.
+
+        With ``adaptive`` (and a resilience manager to supply the
+        health epoch), the factory's orderer is wrapped in an
+        :class:`~repro.ordering.adaptive.AdaptiveOrderer` watching
+        ``resilience.epoch`` — the mediator-level entry point to
+        mid-stream re-ordering.  Without resilience there is no health
+        signal to adapt to, so the flag degrades to the plain factory.
+        """
+        if not adaptive or self.resilience is None:
+            return self.orderer_factory(utility)
+        return AdaptiveOrderer(
+            utility,
+            inner_factory=self.orderer_factory,
+            epoch=self.resilience.epoch,
+            registry=self.registry,
+        )
+
     # -- the sequential anytime loop ---------------------------------------------
 
     def answer(
@@ -181,6 +203,7 @@ class Mediator:
         orderer: Optional[PlanOrderer] = None,
         *,
         request_id: str = "",
+        adaptive: bool = False,
     ) -> Iterator[AnswerBatch]:
         """Stream answer batches, best plans first.
 
@@ -188,6 +211,8 @@ class Mediator:
         from the ordering; by default the whole plan space is drained.
         ``request_id`` is the correlation id stamped on the journal
         events this run emits (when the mediator's journal is on).
+        ``adaptive`` (ignored when *orderer* is supplied) asks
+        :meth:`make_orderer` for a health-epoch-watching wrapper.
         """
         journal = self.journal.bind(request_id)
         # Hoisted once: the flag cannot change mid-run, and the loop
@@ -198,7 +223,12 @@ class Mediator:
         watch = Stopwatch().start()
         space = self.reformulate(query)
         if orderer is None:
-            orderer = self.orderer_factory(utility)
+            orderer = self.make_orderer(utility, adaptive=adaptive)
+        bind = getattr(orderer, "bind_journal", None)
+        if bind is not None:
+            # Adaptive orderers journal their re-sorts; duck-typed so
+            # any caller-supplied orderer with the hook benefits too.
+            bind(journal)
         adopted_tracer = False
         if orderer.tracer is NOOP_TRACER and self.tracer.enabled:
             # Let the ordering spans nest under the mediator's trace.

@@ -34,6 +34,7 @@ from typing import Callable, Optional
 
 from repro.datalog.parser import parse_query
 from repro.execution.mediator import AnswerBatch, Mediator
+from repro.resilience.chaos import ChaosBackend, ChaosProfile, FaultProfile
 from repro.resilience.manager import ResilienceManager
 from repro.observability.journal import EventJournal
 from repro.observability.tracing import Stopwatch, Tracer
@@ -42,8 +43,9 @@ from repro.ordering.bruteforce import PIOrderer
 from repro.ordering.greedy import GreedyOrderer
 from repro.ordering.idrips import IDripsOrderer
 from repro.service.loadgen import build_query_mix, percentile
+from repro.service.policy import RequestPolicy, RetryPolicy
 from repro.service.server import QueryRequest, QueryService, ServiceConfig
-from repro.utility.cost import LinearCost
+from repro.utility.cost import BindJoinCost, LinearCost
 from repro.workloads.cameras import camera_domain
 from repro.workloads.movies import movie_domain
 from repro.workloads.synthetic import SyntheticParams, generate_domain
@@ -55,6 +57,12 @@ __all__ = [
     "check_anyk_profile",
     "run_cluster_profile",
     "check_cluster_profile",
+    "run_adaptive_profile",
+    "check_adaptive_profile",
+    "adaptive_chaos_profile",
+    "adaptive_scenario",
+    "adaptive_trial",
+    "adaptive_stream_digest",
     "BASELINE_SCHEMA_VERSION",
 ]
 
@@ -83,6 +91,25 @@ ANYK_GATE_MIN_SPACE = 100_000
 #: aggregate-throughput scaling for each arm.
 CLUSTER_WORKER_COUNTS = (2, 4)
 MIN_CLUSTER_SCALING = {2: 1.6, 4: 3.0}
+
+#: The adaptive-vs-fixed baseline (``BENCH_PR9.json``) runs on the
+#: random-LAV scenario at this seed: a 16-plan space whose statically
+#: best-ranked prefix is dominated by one source, so an outage on it
+#: strands a fixed order behind doomed plans while the adaptive
+#: orderer routes around after the first failure.
+ADAPTIVE_SCENARIO_SEED = 3
+
+#: The source every top-ranked plan of that scenario touches.
+ADAPTIVE_DOOMED_SOURCE = "src0"
+
+#: Injected per-attempt stall on the doomed source: each access hangs
+#: this long and then fails — a timing-out outage, the worst case for
+#: an order that ranked the source's plans on top.
+ADAPTIVE_CHAOS_LATENCY_S = 0.02
+
+#: CI bound: the adaptive arm's time-to-first-answer p90 must be at
+#: most this fraction of the fixed-order arm's under the outage chaos.
+MAX_ADAPTIVE_TTFA_RATIO = 0.8
 
 #: The cluster benchmark multiplies the bundled ``slow`` chaos
 #: profile's per-source latency by this factor (10 ms -> 100 ms).  The
@@ -475,6 +502,276 @@ def check_cluster_profile(
                 f"aggregate throughput at {n} workers scaled only "
                 f"{ratio:.2f}x over single-process (gate {bound:.1f}x)"
             )
+    return problems
+
+
+# -- adaptive re-ordering vs fixed order ------------------------------------------
+
+#: Retry budget for the adaptive trials: two fast attempts, so each
+#: doomed plan costs exactly two injected stalls plus one backoff.
+#: Jitter stays off — the trials are meant to replay byte-identically.
+ADAPTIVE_RETRY = RetryPolicy(max_attempts=2, base_s=0.005, cap_s=0.01)
+
+
+def adaptive_chaos_profile() -> ChaosProfile:
+    """The seeded latency/outage chaos of the adaptive baseline.
+
+    Every access to the doomed source stalls for
+    ``ADAPTIVE_CHAOS_LATENCY_S`` and then fails with a retryable
+    error, so a plan over it burns its whole retry budget in wall
+    clock before gracefully degrading to the next plan.
+    """
+    return ChaosProfile(
+        name="head-outage",
+        faults={
+            ADAPTIVE_DOOMED_SOURCE: FaultProfile(
+                transient_prob=1.0, latency_s=ADAPTIVE_CHAOS_LATENCY_S
+            )
+        },
+    )
+
+
+def adaptive_scenario():
+    """The random-LAV scenario both arms of the baseline run on."""
+    from repro.workloads.random_lav import ordering_scenario
+
+    return ordering_scenario(ADAPTIVE_SCENARIO_SEED)
+
+
+def _adaptive_measure_factory(scenario):
+    def factory() -> BindJoinCost:
+        return BindJoinCost(
+            access_overhead=1.0,
+            domain_sizes=scenario.domain_sizes,
+            uniform_transfer=True,
+            failure_aware=True,
+        )
+
+    return factory
+
+
+def _adaptive_service(
+    scenario, *, adaptivity: str, chaos_seed: int, chaos: bool,
+    journal: Optional[EventJournal] = None,
+) -> QueryService:
+    # queue_depth=1 / executor_workers=1 keep the producer at most a
+    # couple of plans ahead of execution, so mid-stream health signals
+    # can still affect plans that were not yet emitted.  Breakers are
+    # off in *both* arms: the board would skip every doomed plan after
+    # its threshold in both, drowning the ordering-level effect this
+    # baseline isolates (bench_resilience measures the breaker path).
+    backend = None
+    if chaos:
+        backend = ChaosBackend(adaptive_chaos_profile(), seed=chaos_seed)
+    return QueryService(
+        scenario.scenario.catalog,
+        scenario.scenario.source_facts,
+        measures={"failure": _adaptive_measure_factory(scenario)},
+        config=ServiceConfig(
+            default_policy=RequestPolicy(retry=ADAPTIVE_RETRY),
+            default_measure="failure",
+            adaptivity=adaptivity,
+            queue_depth=1,
+            executor_workers=1,
+        ),
+        backend=backend,
+        resilience=ResilienceManager(min_observations=1, breakers=False),
+        journal=journal,
+    )
+
+
+def adaptive_trial(
+    scenario=None, *, adaptivity: str, chaos_seed: int = 0, chaos: bool = True
+) -> dict:
+    """One cold-start request under the outage chaos; outcome facts.
+
+    Cold start is the point: both arms begin with an empty health
+    tracker and therefore the *identical* static ranking, so any
+    time-to-first-answer gap is attributable to mid-stream re-ordering
+    alone.
+    """
+    scenario = scenario if scenario is not None else adaptive_scenario()
+    journal = EventJournal()
+    service = _adaptive_service(
+        scenario, adaptivity=adaptivity, chaos_seed=chaos_seed,
+        chaos=chaos, journal=journal,
+    )
+    try:
+        result = service.execute(
+            QueryRequest(scenario.scenario.query, request_id="trial")
+        )
+        report = result.report
+        journal.validate()
+        return {
+            "status": result.status,
+            "answers": len(result.answers),
+            "ttfa_s": report.first_answer_s if report is not None else None,
+            "plans_failed": report.plans_failed if report is not None else 0,
+            "reorders": len(journal.events(event="plan.reordered")),
+        }
+    finally:
+        service.shutdown()
+
+
+def adaptive_stream_digest(scenario=None, *, adaptivity: str) -> dict:
+    """Fingerprint of one healthy (chaos-free) request's batch stream.
+
+    The healthy-path identity guarantee, as a checkable fact: with no
+    failures the epoch never moves, so the adaptive stream must be
+    byte-identical to the fixed one — same plans, utilities, ranks and
+    soundness verdicts, hence equal digests.
+    """
+    scenario = scenario if scenario is not None else adaptive_scenario()
+    service = _adaptive_service(
+        scenario, adaptivity=adaptivity, chaos_seed=0, chaos=False
+    )
+    try:
+        result = service.execute(
+            QueryRequest(scenario.scenario.query, request_id="healthy")
+        )
+        stream = [
+            (batch.rank, batch.plan.key, batch.utility, batch.sound)
+            for batch in result.batches
+        ]
+        return {
+            "status": result.status,
+            "batches": len(stream),
+            "stream_sha256": hashlib.sha256(
+                repr(stream).encode("utf-8")
+            ).hexdigest(),
+        }
+    finally:
+        service.shutdown()
+
+
+def run_adaptive_profile(
+    *,
+    seed: int = 0,
+    quick: bool = False,
+    trials: Optional[int] = None,
+    timestamp: Optional[str] = None,
+) -> dict:
+    """The adaptive-vs-fixed ordering baseline (``BENCH_PR9.json``).
+
+    Two arms execute the same cold-start request under the same seeded
+    latency/outage chaos, differing only in the ``adaptivity`` knob.
+    Each trial is a fresh service (empty tracker, closed breakers), so
+    the arms share their static ranking and the measured gap is the
+    value of the mid-stream feedback loop.  A chaos-free request per
+    arm fingerprints the healthy streams; they must be identical.
+    """
+    trials = trials if trials is not None else (4 if quick else 10)
+    scenario = adaptive_scenario()
+    arms: dict[str, dict] = {}
+    for arm, adaptivity in (("fixed", "off"), ("adaptive", "on")):
+        runs = [
+            adaptive_trial(
+                scenario, adaptivity=adaptivity, chaos_seed=seed + index
+            )
+            for index in range(trials)
+        ]
+        ttfas = [run["ttfa_s"] for run in runs]
+        arms[arm] = {
+            "trials": trials,
+            "ttfa_s": ttfas,
+            "ttfa_p50_s": percentile(ttfas, 0.50),
+            "ttfa_p90_s": percentile(ttfas, 0.90),
+            "reorders": [run["reorders"] for run in runs],
+            "statuses": [run["status"] for run in runs],
+            "answers": [run["answers"] for run in runs],
+            "plans_failed": sum(run["plans_failed"] for run in runs),
+        }
+    fixed_p90 = arms["fixed"]["ttfa_p90_s"]
+    ratio = (
+        arms["adaptive"]["ttfa_p90_s"] / fixed_p90 if fixed_p90 else 0.0
+    )
+    healthy = {
+        arm: adaptive_stream_digest(scenario, adaptivity=adaptivity)
+        for arm, adaptivity in (("fixed", "off"), ("adaptive", "on"))
+    }
+    payload: dict[str, object] = {
+        "schema": BASELINE_SCHEMA_VERSION,
+        "kind": "adaptive",
+        "seed": seed,
+        "quick": quick,
+        "scenario": {
+            "workload": "random-lav",
+            "seed": ADAPTIVE_SCENARIO_SEED,
+            "space_size": scenario.space.size,
+            "doomed_source": ADAPTIVE_DOOMED_SOURCE,
+        },
+        "chaos": adaptive_chaos_profile().as_dict(),
+        "retry": {
+            "max_attempts": ADAPTIVE_RETRY.max_attempts,
+            "base_s": ADAPTIVE_RETRY.base_s,
+            "cap_s": ADAPTIVE_RETRY.cap_s,
+        },
+        "gate": {"max_ttfa_ratio": MAX_ADAPTIVE_TTFA_RATIO},
+        "arms": arms,
+        "ttfa_p90_ratio": ratio,
+        "healthy": {
+            **healthy,
+            "identical": (
+                healthy["fixed"]["stream_sha256"]
+                == healthy["adaptive"]["stream_sha256"]
+            ),
+        },
+    }
+    if timestamp is not None:
+        payload["timestamp"] = timestamp
+    return payload
+
+
+def check_adaptive_profile(
+    payload: dict, *, max_ratio: float = MAX_ADAPTIVE_TTFA_RATIO
+) -> list[str]:
+    """Regression findings in an adaptive baseline; empty means pass.
+
+    The CI gate from the acceptance criteria: adaptive TTFA p90 at
+    most ``max_ratio`` of fixed-order under the outage chaos; every
+    trial completes ``ok``; the fixed arm never re-orders while every
+    adaptive trial re-orders at least once; and the healthy streams
+    are identical.
+    """
+    arms = payload.get("arms")
+    if not isinstance(arms, dict) or not {"fixed", "adaptive"} <= set(arms):
+        return ["adaptive baseline document has no fixed/adaptive arms"]
+    problems: list[str] = []
+    for name in ("fixed", "adaptive"):
+        statuses = arms[name].get("statuses") or []
+        bad = [status for status in statuses if status != "ok"]
+        if bad:
+            problems.append(
+                f"{name} arm saw non-ok statuses under chaos: {bad}"
+            )
+    fixed_reorders = arms["fixed"].get("reorders") or []
+    if any(fixed_reorders):
+        problems.append(
+            f"the fixed arm re-ordered mid-stream: {fixed_reorders}"
+        )
+    adaptive_reorders = arms["adaptive"].get("reorders")
+    if not adaptive_reorders or not all(
+        count >= 1 for count in adaptive_reorders
+    ):
+        problems.append(
+            "an adaptive trial never re-ordered under the outage chaos: "
+            f"{adaptive_reorders}"
+        )
+    ratio = payload.get("ttfa_p90_ratio")
+    if not isinstance(ratio, (int, float)):
+        problems.append("adaptive baseline document has no ttfa_p90_ratio")
+    elif ratio > max_ratio:
+        problems.append(
+            f"adaptive TTFA p90 is {ratio:.2f}x fixed-order "
+            f"(gate {max_ratio:.2f}x): "
+            f"{arms['adaptive'].get('ttfa_p90_s')}s vs "
+            f"{arms['fixed'].get('ttfa_p90_s')}s"
+        )
+    healthy = payload.get("healthy")
+    if not isinstance(healthy, dict) or healthy.get("identical") is not True:
+        problems.append(
+            "healthy streams differ between adaptive and fixed arms"
+        )
     return problems
 
 

@@ -64,12 +64,24 @@ EVENT_SCHEMA: dict[str, frozenset[str]] = {
     "plan.skipped": frozenset({"rank", "sources"}),
     "plan.failed": frozenset({"rank", "error"}),
     "plan.retry": frozenset({"rank", "attempt", "delay_s"}),
+    # A mid-stream re-sort of the remaining plan space (adaptive
+    # orderer).  The shift witness makes the decision auditable:
+    # ``old_head`` was about to be emitted at ``rank``, its re-scored
+    # utility ``head_utility`` no longer dominated the residual
+    # frontier's upper bound ``frontier_hi`` under health epoch
+    # ``epoch``.
+    "plan.reordered": frozenset(
+        {"rank", "epoch", "old_head", "head_utility", "frontier_hi"}
+    ),
     # -- answer progress (the anytime quantities) -----------------------------
     "answer.first": frozenset({"rank", "elapsed_s"}),
     "answer.progress": frozenset({"rank", "answers", "elapsed_s"}),
     # -- resilience -----------------------------------------------------------
     "source.failure": frozenset({"sources", "error"}),
     "breaker.transition": frozenset({"source", "from_state", "to_state"}),
+    # The monotone health-epoch counter advanced; ``reason`` is one of
+    # ``source.failure`` / ``recovery`` / ``breaker.transition``.
+    "health.epoch": frozenset({"epoch", "reason"}),
     # -- cluster (router + supervisor) ----------------------------------------
     "cluster.routed": frozenset({"shard"}),
     "cluster.worker": frozenset({"shard", "state"}),

@@ -15,8 +15,12 @@
 * :class:`~repro.ordering.anyk.AnyKOrderer` -- any-k ranked
   enumeration by Lawler successors over the bucket lattice; emits the
   first plan without materializing or abstracting the product space.
+* :class:`~repro.ordering.adaptive.AdaptiveOrderer` -- wraps any of
+  the above and re-sorts the residual plan space mid-stream when the
+  resilience layer's health epoch shows the ranking may have shifted.
 """
 
+from repro.ordering.adaptive import AdaptiveOrderer
 from repro.ordering.anyk import AnyKOrderer
 
 from repro.ordering.abstraction import (
@@ -36,6 +40,7 @@ from repro.ordering.streamer import StreamerOrderer
 
 __all__ = [
     "AbstractPlan",
+    "AdaptiveOrderer",
     "AnyKOrderer",
     "AbstractSource",
     "AbstractionHeuristic",

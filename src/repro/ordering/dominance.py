@@ -172,3 +172,19 @@ class DominanceGraph:
 
     def link_count(self) -> int:
         return sum(len(targets) for targets in self._out.values())
+
+
+def head_certainly_best(
+    head: Interval, rest: "list[Interval] | tuple[Interval, ...]"
+) -> bool:
+    """Is a re-scored head still provably the best remaining plan?
+
+    The adaptive orderer's trigger test (the same interval-dominance
+    primitive Streamer's links use, applied to "has the ranking
+    provably shifted?"): the current head keeps streaming only when its
+    utility interval dominates *every* residual subspace's interval —
+    ``head.lo >= sub.hi`` for each.  One overlapping interval means
+    some not-yet-emitted plan may now beat the head, and the caller
+    must re-sort.  With an empty *rest* the head is trivially best.
+    """
+    return all(head.dominates(interval) for interval in rest)

@@ -13,7 +13,14 @@ faults **per source**, in four composable dimensions:
   :class:`~repro.errors.PermanentSourceError`, which is *not*
   retryable: the breaker opens instead of the retry budget burning;
 * ``truncate_to`` — the source answers but incompletely, capping the
-  plan's answer set (the ``answers_partial`` degradation flag).
+  plan's answer set (the ``answers_partial`` degradation flag);
+* ``flap_period`` / ``flap_down`` — deterministic periodic
+  outage→recovery: of every ``flap_period`` accesses to the source,
+  the first ``flap_down`` fail like a permanent outage and the rest
+  succeed.  Flapping exercises the adaptive orderer in *both*
+  directions — plans are demoted while the source is down and
+  re-promoted once it answers again — where ``permanent_outage`` only
+  ever demotes.
 
 Failure draws reuse :func:`~repro.service.backends.deterministic_draw`
 keyed on ``(seed, source, plan signature, attempt)``, so a chaos run
@@ -54,6 +61,8 @@ class FaultProfile:
     latency_s: float = 0.0
     permanent_outage: bool = False
     truncate_to: Optional[int] = None
+    flap_period: Optional[int] = None
+    flap_down: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.transient_prob <= 1.0:
@@ -64,6 +73,17 @@ class FaultProfile:
             raise ServiceError(f"latency_s must be >= 0: {self.latency_s}")
         if self.truncate_to is not None and self.truncate_to < 0:
             raise ServiceError(f"truncate_to must be >= 0: {self.truncate_to}")
+        if self.flap_period is not None:
+            if self.flap_period < 1:
+                raise ServiceError(
+                    f"flap_period must be >= 1: {self.flap_period}"
+                )
+            if not 1 <= self.flap_down <= self.flap_period:
+                raise ServiceError(
+                    f"flap_down must be in [1, flap_period]: {self.flap_down}"
+                )
+        elif self.flap_down != 0:
+            raise ServiceError("flap_down requires flap_period")
 
     @property
     def is_noop(self) -> bool:
@@ -72,18 +92,44 @@ class FaultProfile:
             and self.latency_s == 0.0
             and not self.permanent_outage
             and self.truncate_to is None
+            and self.flap_period is None
         )
+
+    @property
+    def _flap_duty(self) -> float:
+        """Fraction of accesses spent down (0 when not flapping)."""
+        if self.flap_period is None:
+            return 0.0
+        return self.flap_down / self.flap_period
+
+    def flap_down_at(self, access: int) -> bool:
+        """Is the source down for its *access*-th access (1-based)?
+
+        The first ``flap_down`` of every ``flap_period`` accesses
+        fail — a pure function of the access ordinal, so flapping is
+        exactly replayable given the access order.
+        """
+        if self.flap_period is None:
+            return False
+        return (access - 1) % self.flap_period < self.flap_down
 
     def compose(self, other: "FaultProfile") -> "FaultProfile":
         """Stack *other* on top of this profile (worst of each axis)."""
         truncations = [
             t for t in (self.truncate_to, other.truncate_to) if t is not None
         ]
+        # Flap schedules do not merge meaningfully; keep the one that
+        # is down the larger fraction of the time (self wins ties).
+        flappier = (
+            other if other._flap_duty > self._flap_duty else self
+        )
         return FaultProfile(
             transient_prob=max(self.transient_prob, other.transient_prob),
             latency_s=self.latency_s + other.latency_s,
             permanent_outage=self.permanent_outage or other.permanent_outage,
             truncate_to=min(truncations) if truncations else None,
+            flap_period=flappier.flap_period,
+            flap_down=flappier.flap_down,
         )
 
     def as_dict(self) -> dict[str, object]:
@@ -189,6 +235,18 @@ BUNDLED_PROFILES: dict[str, ChaosProfile] = {
         faults={},
         default=FaultProfile(truncate_to=1),
     ),
+    # Periodic outage→recovery on the movie workload's review/actor
+    # sources: plans over v3/v5 are repeatedly demoted and re-promoted
+    # as the flap windows pass, which drives the adaptive orderer's
+    # re-sort path in both directions.  Co-prime periods keep the two
+    # sources from flapping in lockstep.
+    "flapping": ChaosProfile(
+        name="flapping",
+        faults={
+            "v3": FaultProfile(flap_period=5, flap_down=2),
+            "v5": FaultProfile(flap_period=7, flap_down=3),
+        },
+    ),
 }
 
 
@@ -224,6 +282,13 @@ class ChaosBackend(ExecutionBackend):
         self.seed = seed
         self._lock = threading.Lock()
         self._attempts: dict[str, int] = {}
+        #: Per-source access ordinals driving the flap schedules.  The
+        #: schedule is deterministic *in the access order*: exact for
+        #: single-threaded runs; under concurrency the interleaving
+        #: picks which accesses land in a down-window, but the duty
+        #: cycle (flap_down of every flap_period accesses fail) holds
+        #: regardless.
+        self._accesses: dict[str, int] = {}
         self.failures_injected = 0
         self.outages_hit = 0
         self.truncations = 0
@@ -259,6 +324,22 @@ class ChaosBackend(ExecutionBackend):
                 raise PermanentSourceError(
                     source, f"chaos[{self.profile.name}]: {source} is down"
                 )
+            if fault.flap_period is not None:
+                with self._lock:
+                    access = self._accesses.get(source, 0) + 1
+                    self._accesses[source] = access
+                    down = fault.flap_down_at(access)
+                    if down:
+                        self.outages_hit += 1
+                if down:
+                    # Down-windows raise the *permanent* error so the
+                    # breaker force-opens; the cooldown probe then finds
+                    # the source answering again once the window passes.
+                    raise PermanentSourceError(
+                        source,
+                        f"chaos[{self.profile.name}]: {source} flapped down "
+                        f"(access {access})",
+                    )
             if fault.transient_prob > 0.0:
                 draw = deterministic_draw(
                     self.seed, f"{source}:{signature}", attempt

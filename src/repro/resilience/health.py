@@ -29,7 +29,46 @@ from typing import Optional
 from repro.errors import ServiceError
 from repro.observability.metrics import MetricRegistry
 
-__all__ = ["SourceHealth", "SourceHealthTracker"]
+__all__ = ["HealthEpoch", "SourceHealth", "SourceHealthTracker"]
+
+
+class HealthEpoch:
+    """A monotone counter versioning "the health picture changed".
+
+    The resilience manager bumps it on every *meaningful* movement of
+    observed source health — a recorded failure, a success on a source
+    that has failed before (recovery), a breaker transition — and the
+    adaptive orderer compares :attr:`value` against the epoch it last
+    scored the plan frontier under.  The comparison is one integer
+    read, so the orderer can afford it between every two plans; the
+    expensive dominance re-check only runs when the epoch moved.
+
+    Pure successes on never-failed sources do **not** bump the epoch
+    (the manager owns that rule): a fully healthy run keeps the epoch
+    at its initial value forever, which is what makes the adaptive
+    orderer's healthy-path byte-identity guarantee structural rather
+    than probabilistic.
+    """
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def bump(self) -> int:
+        """Advance the epoch; returns the new value."""
+        with self._lock:
+            self._value += 1
+            return self._value
+
+    def __repr__(self) -> str:
+        return f"<HealthEpoch {self.value}>"
 
 
 @dataclass(frozen=True)
@@ -131,6 +170,12 @@ class SourceHealthTracker:
         with self._lock:
             cell = self._cells.get(source)
             return 0 if cell is None else cell.successes + cell.failures
+
+    def failures(self, source: str) -> int:
+        """Lifetime failure count of *source* (0 when never seen)."""
+        with self._lock:
+            cell = self._cells.get(source)
+            return 0 if cell is None else cell.failures
 
     def failure_rate(
         self, source: str, *, min_observations: int = 1

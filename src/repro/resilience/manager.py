@@ -26,13 +26,14 @@ tests and benchmarks toggle them to isolate effects.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Optional
 
 from repro.errors import PermanentSourceError
 from repro.observability.journal import EventJournal, NOOP_JOURNAL
 from repro.observability.metrics import MetricRegistry
 from repro.resilience.breaker import BreakerBoard
-from repro.resilience.health import SourceHealthTracker
+from repro.resilience.health import HealthEpoch, SourceHealthTracker
 from repro.resilience.measure import HealthAwareMeasure
 from repro.utility.base import PlanLike, UtilityMeasure
 
@@ -73,6 +74,19 @@ class ResilienceManager:
         #: breakers-on/off comparison in ``benchmarks/bench_resilience.py``.
         self.breakers = breakers
         self.min_observations = min_observations
+        #: Monotone version of "the health picture changed".  Bumped on
+        #: failures, on recoveries (a success on a source with recorded
+        #: failures), and on breaker transitions — never on successes
+        #: of never-failed sources, so a healthy run keeps epoch 0 and
+        #: the adaptive orderer provably never re-sorts.
+        self.epoch = HealthEpoch()
+        # Breaker states as of the last _note_transitions pass.  The
+        # diff baseline must be *remembered*, not re-queried: reading
+        # board.states() lazily advances cooled-down breakers to
+        # half-open, so a fresh "before" snapshot would swallow exactly
+        # the probe transitions the epoch exists to announce.
+        self._seen_states: dict[str, str] = {}
+        self._seen_lock = threading.Lock()
 
     # -- plan helpers ------------------------------------------------------------
 
@@ -90,30 +104,45 @@ class ResilienceManager:
         """
         if not self.breakers:
             return ()
-        before = self.board.states() if self.journal.enabled else {}
         blocked = self.board.admit(self.sources_of(plan))
-        self._journal_transitions(before, request_id)
+        self._note_transitions(request_id)
         return blocked
 
     # -- outcome recording -------------------------------------------------------
 
-    def _journal_transitions(
-        self, before: dict[str, str], request_id: str
-    ) -> None:
-        """Emit ``breaker.transition`` for every state change vs *before*."""
-        if not self.journal.enabled:
-            return
+    def _bump_epoch(self, reason: str, request_id: str) -> None:
+        """Advance the health epoch and journal the advance."""
+        value = self.epoch.bump()
+        if self.journal.enabled:
+            self.journal.emit(
+                "health.epoch",
+                request_id=request_id,
+                epoch=value,
+                reason=reason,
+            )
+
+    def _note_transitions(self, request_id: str) -> None:
+        """Bump the epoch and journal every state change since last look.
+
+        Runs whether or not the journal is enabled: breaker transitions
+        are exactly the moments the adaptive orderer must notice, so
+        the epoch bump cannot be tied to observability settings.
+        """
         after = self.board.states()
+        with self._seen_lock:
+            seen, self._seen_states = self._seen_states, after
         for source, state in after.items():
-            previous = before.get(source, "closed")
+            previous = seen.get(source, "closed")
             if state != previous:
-                self.journal.emit(
-                    "breaker.transition",
-                    request_id=request_id,
-                    source=source,
-                    from_state=previous,
-                    to_state=state,
-                )
+                if self.journal.enabled:
+                    self.journal.emit(
+                        "breaker.transition",
+                        request_id=request_id,
+                        source=source,
+                        from_state=previous,
+                        to_state=state,
+                    )
+                self._bump_epoch("breaker.transition", request_id)
 
     def record_success(
         self,
@@ -122,12 +151,22 @@ class ResilienceManager:
         *,
         request_id: str = "",
     ) -> None:
-        """One successful plan execution touching *sources*."""
-        before = self.board.states() if self.journal.enabled else {}
+        """One successful plan execution touching *sources*.
+
+        A success on a source that has recorded failures is *recovery*:
+        its EWMA failure rate just moved toward 0, which can re-promote
+        plans the adaptive orderer demoted — so the epoch bumps.  A
+        success on a never-failed source changes nothing the ordering
+        can see and leaves the epoch alone.
+        """
+        sources = tuple(sources)
+        recovering = any(self.tracker.failures(s) > 0 for s in sources)
         for source in sources:
             self.tracker.record_success(source, latency_s)
             self.board.record_success(source)
-        self._journal_transitions(before, request_id)
+        if recovering:
+            self._bump_epoch("recovery", request_id)
+        self._note_transitions(request_id)
 
     def record_failure(
         self,
@@ -146,7 +185,6 @@ class ResilienceManager:
         blamed = getattr(error, "source", None)
         permanent = isinstance(error, PermanentSourceError)
         targets = (blamed,) if blamed is not None else tuple(sources)
-        before = self.board.states() if self.journal.enabled else {}
         for source in targets:
             self.tracker.record_failure(source, latency_s)
             self.board.record_failure(source, permanent=permanent)
@@ -157,7 +195,8 @@ class ResilienceManager:
                 sources=list(targets),
                 error=type(error).__name__ if error is not None else "",
             )
-        self._journal_transitions(before, request_id)
+        self._bump_epoch("source.failure", request_id)
+        self._note_transitions(request_id)
 
     # -- views -------------------------------------------------------------------
 

@@ -14,6 +14,7 @@ instants (:class:`Deadline`), so every thread of a session agrees on
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from dataclasses import dataclass, field
@@ -101,14 +102,24 @@ class RetryPolicy:
 
     Attempt ``n`` (1-based) that fails is retried after
     ``base * factor**(n-1)`` seconds, capped at ``cap`` — the classic
-    schedule, deterministic (no jitter) so service runs replay exactly.
-    ``max_attempts=1`` disables retries entirely.
+    schedule.  With ``jitter=0`` (the default) the schedule is fully
+    deterministic, so service runs replay exactly.
+
+    ``jitter`` opts into *decorrelated* jitter: the delay is spread
+    over ``[d*(1-jitter), d*(1+2*jitter)]`` (still capped at ``cap``),
+    which desynchronizes retry storms when many cluster workers lose
+    the same source at the same instant.  The draw is a pure hash of
+    ``(jitter_seed, salt, failed_attempts)`` — no global RNG — so
+    chaos replays with the same seed and request ids stay bit-for-bit
+    reproducible while *different* requests spread out.
     """
 
     max_attempts: int = 1
     base_s: float = 0.01
     factor: float = 2.0
     cap_s: float = 1.0
+    jitter: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -119,12 +130,33 @@ class RetryPolicy:
             raise ServiceError(
                 f"invalid backoff parameters {self.base_s}/{self.factor}/{self.cap_s}"
             )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ServiceError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
 
-    def delay(self, failed_attempts: int) -> float:
-        """Backoff before the next try, after *failed_attempts* failures."""
+    def _draw(self, salt: str, failed_attempts: int) -> float:
+        """A deterministic uniform draw in [0, 1) for this retry."""
+        payload = f"{self.jitter_seed}:{salt}:{failed_attempts}".encode()
+        digest = hashlib.sha256(payload).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def delay(self, failed_attempts: int, *, salt: str = "") -> float:
+        """Backoff before the next try, after *failed_attempts* failures.
+
+        *salt* individualizes the jitter stream (the session passes its
+        request id); it has no effect when ``jitter == 0``.
+        """
         if failed_attempts < 1:
             raise ServiceError("delay() is asked after at least one failure")
-        return min(self.cap_s, self.base_s * self.factor ** (failed_attempts - 1))
+        base = self.base_s * self.factor ** (failed_attempts - 1)
+        if self.jitter > 0.0:
+            # Decorrelated: uniformly inside [1-j, 1+2j] around the
+            # exponential schedule, biased long so backoff pressure is
+            # never *reduced* on average.
+            spread = self._draw(salt, failed_attempts) * 3.0 * self.jitter
+            base *= 1.0 - self.jitter + spread
+        return min(self.cap_s, base)
 
 
 @dataclass(frozen=True)
@@ -145,6 +177,10 @@ class RequestPolicy:
         Backoff schedule for :class:`~repro.errors.TransientExecutionError`.
     ``cancellation``
         Optional shared token for caller-initiated cancellation.
+    ``adaptivity``
+        Per-request override of the server's adaptivity default:
+        True forces mid-stream re-ordering on, False forces it off,
+        None (the default) defers to the server configuration.
     """
 
     deadline_s: Optional[float] = None
@@ -152,6 +188,7 @@ class RequestPolicy:
     first_k_answers: Optional[int] = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     cancellation: Optional[CancellationToken] = None
+    adaptivity: Optional[bool] = None
 
     def start_deadline(self) -> Deadline:
         return Deadline.after(self.deadline_s)

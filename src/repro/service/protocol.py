@@ -8,9 +8,11 @@ Client → server (one object per query)::
     {"type": "query", "id": "q1", "query": "q(X) :- rel0(X, Y)",
      "measure": "linear", "orderer": "greedy",
      "deadline_s": 2.0, "max_plans": 10, "first_k_answers": 5,
-     "retry_attempts": 3}
+     "retry_attempts": 3, "adaptive": true}
 
 Only ``query`` is required; everything else defaults server-side.
+``adaptive`` overrides the server's mid-stream re-ordering default
+(see ``ServiceConfig.adaptivity``) for this request only.
 
 Server → client, streamed as plans finish::
 
@@ -152,6 +154,7 @@ def request_record(
     max_plans: Optional[int] = None,
     first_k_answers: Optional[int] = None,
     retry_attempts: Optional[int] = None,
+    adaptive: Optional[bool] = None,
 ) -> dict:
     record: dict = {"type": "query", "query": query_text}
     if request_id is not None:
@@ -163,6 +166,7 @@ def request_record(
         ("max_plans", max_plans),
         ("first_k_answers", first_k_answers),
         ("retry_attempts", retry_attempts),
+        ("adaptive", adaptive),
     ):
         if value is not None:
             record[key] = value
@@ -209,6 +213,12 @@ def request_from_record(
     first_k = _number("first_k_answers", int, 1)
     retry_attempts = _number("retry_attempts", int, 1)
 
+    adaptive = record.get("adaptive")
+    if adaptive is not None and not isinstance(adaptive, bool):
+        raise ProtocolError(
+            f"'adaptive' must be a boolean, got {adaptive!r}"
+        )
+
     policy = RequestPolicy(
         deadline_s=deadline_s if deadline_s is not None else defaults.deadline_s,
         max_plans=int(max_plans) if max_plans is not None else defaults.max_plans,
@@ -221,10 +231,13 @@ def request_from_record(
                 base_s=defaults.retry.base_s,
                 factor=defaults.retry.factor,
                 cap_s=defaults.retry.cap_s,
+                jitter=defaults.retry.jitter,
+                jitter_seed=defaults.retry.jitter_seed,
             )
             if retry_attempts is not None
             else defaults.retry
         ),
+        adaptivity=adaptive if adaptive is not None else defaults.adaptivity,
     )
     return QueryRequest(
         query=query,

@@ -49,6 +49,7 @@ from repro.observability.journal import EventJournal, NOOP_JOURNAL
 from repro.observability.metrics import MetricRegistry
 from repro.observability.prometheus import render_registry
 from repro.observability.tracing import Tracer
+from repro.ordering.adaptive import AdaptiveOrderer
 from repro.ordering.anyk import AnyKOrderer
 from repro.ordering.bruteforce import ExhaustiveOrderer, PIOrderer
 from repro.ordering.greedy import GreedyOrderer
@@ -111,7 +112,17 @@ BatchCallback = Callable[[AnswerBatch], None]
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Concurrency and defaulting knobs of a :class:`QueryService`."""
+    """Concurrency and defaulting knobs of a :class:`QueryService`.
+
+    ``adaptivity`` is the server-wide default for mid-stream
+    re-ordering (requests override it via
+    ``RequestPolicy.adaptivity``): ``"on"`` / ``"off"`` force it, and
+    ``"auto"`` — the default — enables it exactly for requests that
+    left orderer selection to the server (``--orderer auto``) on a
+    service with a resilience manager.  A request that *named* an
+    orderer asked for that algorithm's stream verbatim, so auto leaves
+    it alone.
+    """
 
     max_concurrent: int = 8
     backlog: int = 32
@@ -122,12 +133,18 @@ class ServiceConfig:
     default_orderer: str = AUTO_ORDERER
     default_policy: RequestPolicy = field(default_factory=RequestPolicy)
     trace_requests: bool = False
+    adaptivity: str = "auto"
 
     def __post_init__(self) -> None:
         if self.max_concurrent < 1:
             raise ServiceError("max_concurrent must be at least 1")
         if self.backlog < 1:
             raise ServiceError("backlog must be at least 1")
+        if self.adaptivity not in ("auto", "on", "off"):
+            raise ServiceError(
+                f"adaptivity must be 'auto', 'on' or 'off', "
+                f"got {self.adaptivity!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -324,7 +341,9 @@ class QueryService:
                 self._shared_measures[name] = measure
         return measure
 
-    def _make_orderer(self, name: str, utility: UtilityMeasure):
+    def _make_orderer(
+        self, name: str, utility: UtilityMeasure, *, adaptive: bool = False
+    ):
         name = resolve_orderer_name(name, utility)
         try:
             factory = ORDERER_TABLE[name]
@@ -332,7 +351,34 @@ class QueryService:
             raise ServiceError(
                 f"unknown orderer {name!r}; have {sorted(ORDERER_TABLE)}"
             ) from None
+        if adaptive and self.resilience is not None:
+            return AdaptiveOrderer(
+                utility,
+                inner_factory=factory,
+                epoch=self.resilience.epoch,
+                registry=self.registry,
+            )
         return factory(utility)
+
+    def resolve_adaptivity(
+        self, policy: RequestPolicy, requested_orderer: str
+    ) -> bool:
+        """Should this request re-order mid-stream?
+
+        The per-request knob wins; otherwise the server default
+        applies, where ``"auto"`` means "adaptive exactly when the
+        request also left the orderer choice to the server and there
+        is a resilience manager to supply the health signal".
+        """
+        if self.resilience is None:
+            return False
+        if policy.adaptivity is not None:
+            return policy.adaptivity
+        if self.config.adaptivity == "on":
+            return True
+        if self.config.adaptivity == "off":
+            return False
+        return requested_orderer == AUTO_ORDERER
 
     def next_request_id(self) -> str:
         return f"req-{next(self._ids)}"
@@ -407,6 +453,7 @@ class QueryService:
         self._g_active.inc()
         measure_name = request.measure or self.config.default_measure
         orderer_name = request.orderer or self.config.default_orderer
+        adaptive = self.resolve_adaptivity(policy, orderer_name)
         if orderer_name == AUTO_ORDERER:
             try:
                 orderer_name = resolve_orderer_name(
@@ -426,7 +473,7 @@ class QueryService:
         try:
             return self._run_admitted(
                 request_id, request.query, measure_name, orderer_name,
-                policy, on_batch,
+                policy, on_batch, adaptive=adaptive,
             )
         finally:
             self._g_active.dec()
@@ -440,11 +487,14 @@ class QueryService:
         orderer_name: str,
         policy: RequestPolicy,
         on_batch: Optional[BatchCallback],
+        adaptive: bool = False,
     ) -> RequestResult:
         tracer = Tracer(enabled=self.config.trace_requests)
         try:
             utility = self.shared_measure(measure_name)
-            orderer = self._make_orderer(orderer_name, utility)
+            orderer = self._make_orderer(
+                orderer_name, utility, adaptive=adaptive
+            )
             session = PipelinedSession(
                 self.mediator,
                 executor_workers=self.config.executor_workers,

@@ -225,6 +225,7 @@ class PipelinedSession:
         orderer: Optional[PlanOrderer] = None,
         policy: Optional[RequestPolicy] = None,
         request_id: str = "",
+        adaptive: bool = False,
     ) -> Iterator[AnswerBatch]:
         """Yield answer batches in emission order, pipelined.
 
@@ -235,6 +236,15 @@ class PipelinedSession:
         the run.  ``request_id`` correlates this run's journal events
         (emitted from the producer, executor, and consumer threads —
         the journal serializes them with one global ``seq``).
+
+        ``adaptive`` (ignored when *orderer* is supplied) wraps the
+        mediator's orderer factory in the health-epoch-watching
+        :class:`~repro.ordering.adaptive.AdaptiveOrderer`.  The epoch
+        is bumped by executor workers (and any concurrent session)
+        recording outcomes into the shared resilience manager; the
+        producer thread notices at its next resumption — between two
+        ``on_emit`` exchanges, which is exactly where the lazy-orderer
+        contract allows re-planning.
         """
         mediator = self.mediator
         resilience = self.resilience
@@ -249,7 +259,10 @@ class PipelinedSession:
         with self.tracer.span("service.reformulate"):
             space = mediator.reformulate(query)
         if orderer is None:
-            orderer = mediator.orderer_factory(utility)
+            orderer = mediator.make_orderer(utility, adaptive=adaptive)
+        bind = getattr(orderer, "bind_journal", None)
+        if bind is not None:
+            bind(journal)
         adopted_tracer = False
         if orderer.tracer is NOOP_TRACER and self.tracer.enabled:
             # The producer thread owns the orderer for the whole run,
@@ -355,7 +368,7 @@ class PipelinedSession:
                         item.error = exc
                         return
                     item.retries += 1
-                    delay = policy.retry.delay(attempts)
+                    delay = policy.retry.delay(attempts, salt=request_id)
                     if journal.enabled:
                         journal.emit(
                             "plan.retry",
@@ -595,12 +608,14 @@ class PipelinedSession:
         orderer: Optional[PlanOrderer] = None,
         policy: Optional[RequestPolicy] = None,
         request_id: str = "",
+        adaptive: bool = False,
     ) -> tuple[list[AnswerBatch], SessionReport]:
         """Collect the whole stream; returns (batches, report)."""
         batches = list(
             self.stream(
                 query, utility,
                 orderer=orderer, policy=policy, request_id=request_id,
+                adaptive=adaptive,
             )
         )
         report = self.last_report

@@ -26,14 +26,22 @@ def service_workload(
 ) -> tuple[Catalog, dict, dict[str, Callable], ConjunctiveQuery]:
     """(catalog, source_facts, measure factories, canonical query)."""
     if name == "movies":
-        from repro.utility.cost import LinearCost
+        from repro.utility.cost import BindJoinCost, LinearCost
         from repro.workloads.movies import movie_domain
 
         domain = movie_domain()
+        # "failure" is the health-reactive option: a failure-aware
+        # bind-join cost that, behind a resilience manager's
+        # HealthAwareMeasure, re-ranks plans as observed failure rates
+        # move — the measure the adaptive chaos jobs serve with.
+        measures: dict[str, Callable] = {
+            "linear": LinearCost,
+            "failure": lambda: BindJoinCost(failure_aware=True),
+        }
         return (
             domain.catalog,
             domain.source_facts,
-            {"linear": LinearCost},
+            measures,
             domain.query,
         )
     if name != "random-lav":

@@ -36,12 +36,17 @@ SAMPLE_FIELDS: dict[str, dict] = {
     "plan.skipped": {"rank": 3, "sources": ["v2"]},
     "plan.failed": {"rank": 4, "error": "TransientExecutionError"},
     "plan.retry": {"rank": 4, "attempt": 1, "delay_s": 0.05},
+    "plan.reordered": {
+        "rank": 3, "epoch": 2, "old_head": ["v1", "v4"],
+        "head_utility": -9.5, "frontier_hi": -4.0,
+    },
     "answer.first": {"rank": 1, "elapsed_s": 0.03},
     "answer.progress": {"rank": 1, "answers": 5, "elapsed_s": 0.03},
     "source.failure": {"sources": ["v2"], "error": "ChaosError"},
     "breaker.transition": {
         "source": "v2", "from_state": "closed", "to_state": "open",
     },
+    "health.epoch": {"epoch": 3, "reason": "source.failure"},
     "cluster.routed": {"shard": 1},
     "cluster.worker": {"shard": 1, "state": "restarted"},
 }

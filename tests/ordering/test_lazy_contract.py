@@ -13,6 +13,7 @@ import pytest
 
 from tests.conftest import assert_valid_ordering
 
+from repro.ordering.adaptive import AdaptiveOrderer
 from repro.ordering.anyk import AnyKOrderer
 from repro.ordering.bruteforce import ExhaustiveOrderer, PIOrderer
 from repro.ordering.greedy import GreedyOrderer
@@ -20,6 +21,12 @@ from repro.ordering.idrips import IDripsOrderer
 from repro.ordering.streamer import StreamerOrderer
 
 K = 6
+
+
+def _adaptive(measure):
+    """The adaptive wrapper is itself a conforming orderer."""
+    return AdaptiveOrderer(measure, inner_factory=ExhaustiveOrderer)
+
 
 # (orderer class, measure factory name) — each paired with a measure
 # the algorithm is applicable to.  AnyK appears twice: linear cost
@@ -32,6 +39,7 @@ CASES = [
     ("streamer", StreamerOrderer, "coverage"),  # diminishing returns
     ("anyk-lattice", AnyKOrderer, "linear_cost"),
     ("anyk-interval", AnyKOrderer, "coverage"),
+    ("adaptive", _adaptive, "coverage"),  # wrapper forwards the contract
 ]
 
 

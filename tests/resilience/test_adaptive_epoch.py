@@ -1,0 +1,214 @@
+"""The health epoch and its contract with the adaptive orderer.
+
+The :class:`~repro.resilience.manager.ResilienceManager` owns a
+monotone :class:`~repro.resilience.health.HealthEpoch` that must
+advance exactly when the health picture the ordering can observe
+changes: source failures, recoveries, and breaker transitions —
+including the *lazy* open → half-open transition that happens inside
+an admission probe.  A healthy run must keep epoch 0 so the adaptive
+orderer provably never re-sorts.
+"""
+
+import pytest
+
+from repro.errors import PermanentSourceError
+from repro.observability.journal import EventJournal
+from repro.ordering import AdaptiveOrderer, ExhaustiveOrderer
+from repro.resilience.breaker import BreakerBoard
+from repro.resilience.manager import ResilienceManager
+from repro.workloads.random_lav import ordering_scenario
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class StubTracker:
+    """Minimal health-tracker double: counts, never smooths."""
+
+    def __init__(self) -> None:
+        self._failures: dict[str, int] = {}
+
+    def failures(self, source: str) -> int:
+        return self._failures.get(source, 0)
+
+    def record_success(self, source: str, latency_s: float = 0.0) -> None:
+        pass
+
+    def record_failure(self, source: str, latency_s: float = 0.0) -> None:
+        self._failures[source] = self.failures(source) + 1
+
+
+def manager_with(clock, **kwargs):
+    board = BreakerBoard(
+        failure_threshold=1, cooldown_s=5.0, probe_budget=1, clock=clock
+    )
+    return ResilienceManager(board=board, tracker=StubTracker(), **kwargs)
+
+
+class TestEpochBumpRules:
+    def test_failure_bumps(self):
+        manager = manager_with(FakeClock())
+        before = manager.epoch.value
+        manager.record_failure(("v1",))
+        assert manager.epoch.value > before
+
+    def test_pure_success_does_not_bump(self):
+        # The healthy-path identity guarantee hangs on this: a run
+        # that never fails keeps epoch 0, so the adaptive wrapper's
+        # stream is structurally identical to the inner orderer's.
+        manager = manager_with(FakeClock())
+        for _ in range(10):
+            manager.record_success(("v1", "v2"))
+        assert manager.epoch.value == 0
+
+    def test_recovery_bumps(self):
+        manager = manager_with(FakeClock())
+        manager.record_failure(("v1",))
+        before = manager.epoch.value
+        manager.record_success(("v1",))
+        assert manager.epoch.value > before
+
+    def test_breaker_transition_bumps_even_without_journal(self):
+        clock = FakeClock()
+        manager = manager_with(clock)
+        assert not manager.journal.enabled
+        manager.record_failure(
+            ("v1",), PermanentSourceError("v1", "dead")
+        )
+        before = manager.epoch.value
+
+        class Plan:
+            class _Src:
+                name = "v1"
+
+            sources = (_Src(),)
+
+        clock.advance(5.0)
+        manager.admit(Plan())  # lazy open -> half-open inside the probe
+        assert manager.board.states()["v1"] == "half_open"
+        assert manager.epoch.value > before
+
+    def test_epoch_advances_are_journaled(self):
+        journal = EventJournal()
+        manager = manager_with(FakeClock(), journal=journal)
+        manager.record_failure(("v1",), request_id="r1")
+        events = journal.events(event="health.epoch")
+        assert events
+        reasons = {record["reason"] for record in events}
+        assert "source.failure" in reasons
+        journal.validate()
+
+
+class _Src:
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+class _Plan:
+    def __init__(self, *names: str) -> None:
+        self.sources = tuple(_Src(name) for name in names)
+
+
+class TestProbeRollbackRegression:
+    """A half-open probe racing a mid-stream re-order.
+
+    ``BreakerBoard.admit`` is two-phase: peeking ``can_admit`` can
+    lazily move a cooled-down breaker open → half-open even when the
+    plan is ultimately *blocked* by another source and every consumed
+    probe slot is rolled back.  The transition is real even though the
+    admission was not — the epoch must bump so the adaptive orderer's
+    next dominance check runs against the current health picture, not
+    the one from before the probe.
+    """
+
+    def blocked_probe(self, journal=None):
+        clock = FakeClock()
+        manager = manager_with(clock, journal=journal)
+        manager.record_failure(("v1",), PermanentSourceError("v1", "dead"))
+        clock.advance(3.0)
+        manager.record_failure(("v2",), PermanentSourceError("v2", "dead"))
+        clock.advance(3.0)  # v1's cooldown elapsed; v2's has not
+        return manager
+
+    def test_blocked_admission_rolls_back_but_bumps_the_epoch(self):
+        manager = self.blocked_probe()
+        before = manager.epoch.value
+        blocked = manager.admit(_Plan("v1", "v2"))
+        assert blocked == ("v2",)
+        breaker = manager.board.breaker("v1")
+        # The peek transitioned v1 but the rollback left its probe
+        # budget untouched: a later plan can still claim the slot.
+        assert breaker.state == "half_open"
+        assert breaker.can_admit()
+        assert manager.epoch.value > before
+
+    def test_adaptive_orderer_rechecks_after_the_rolled_back_probe(self):
+        manager = self.blocked_probe()
+        scenario = ordering_scenario(seed=3)
+        orderer = AdaptiveOrderer(
+            scenario.linear_cost(),
+            inner_factory=ExhaustiveOrderer,
+            epoch=manager.epoch,
+        )
+        stream = orderer.order(scenario.space, 4)
+        next(stream)
+        # Between plans, a worker's admission probe half-opens v1 and
+        # is rolled back because v2 still blocks the plan.
+        manager.admit(_Plan("v1", "v2"))
+        ranks = [entry.rank for entry in stream]
+        # The orderer noticed the bump: it re-evaluated the frontier
+        # (here dominance held, so the re-sort was suppressed) instead
+        # of streaming on the stale pre-probe ranking.
+        assert orderer.suppressed_resorts + orderer.reorders >= 1
+        assert ranks == [2, 3, 4]
+
+    def test_probe_slot_consumed_elsewhere_still_bumps(self):
+        # The racing thread wins the only probe slot before our
+        # admission; our peek sees half-open-with-no-budget and
+        # blocks, consuming nothing — yet the epoch already advanced
+        # when the racer's probe transitioned the breaker.
+        clock = FakeClock()
+        manager = manager_with(clock)
+        manager.record_failure(("v1",), PermanentSourceError("v1", "dead"))
+        clock.advance(5.0)
+        before = manager.epoch.value
+        assert manager.admit(_Plan("v1")) == ()  # racer takes the slot
+        assert manager.epoch.value > before
+        after_racer = manager.epoch.value
+        assert manager.admit(_Plan("v1")) == ("v1",)  # we are blocked
+        # No new transition happened, so no spurious bump either.
+        assert manager.epoch.value == after_racer
+
+
+class TestHealthyRunKeepsEpochZero:
+    def test_adaptive_stream_matches_inner_when_epoch_never_moves(self):
+        manager = manager_with(FakeClock())
+        scenario = ordering_scenario(seed=5)
+        adaptive = AdaptiveOrderer(
+            scenario.linear_cost(),
+            inner_factory=ExhaustiveOrderer,
+            epoch=manager.epoch,
+        )
+        plain = ExhaustiveOrderer(scenario.linear_cost())
+        k = 6
+        wrapped = [
+            (e.plan.key, e.utility, e.rank)
+            for e in adaptive.order(scenario.space, k)
+        ]
+        inner = [
+            (e.plan.key, e.utility, e.rank)
+            for e in plain.order(scenario.space, k)
+        ]
+        assert [w[0] for w in wrapped] == [i[0] for i in inner]
+        assert [w[2] for w in wrapped] == [i[2] for i in inner]
+        for (_, wu, _), (_, iu, _) in zip(wrapped, inner):
+            assert wu == pytest.approx(iu)
+        assert adaptive.reorders == 0

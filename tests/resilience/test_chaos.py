@@ -106,6 +106,93 @@ class TestChaosProfile:
             bundled_profile("hurricane")
 
 
+class TestFlapping:
+    """Deterministic periodic outage→recovery (``flap_period``/``flap_down``)."""
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"flap_period": 0, "flap_down": 1},
+            {"flap_period": 5, "flap_down": 0},
+            {"flap_period": 5, "flap_down": 6},
+            {"flap_down": 2},  # flap_down without flap_period
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ServiceError):
+            FaultProfile(**kwargs)
+
+    def test_flapping_is_not_noop(self):
+        assert not FaultProfile(flap_period=5, flap_down=2).is_noop
+
+    def test_schedule_is_a_pure_function_of_the_access_ordinal(self):
+        fault = FaultProfile(flap_period=5, flap_down=2)
+        expected = [True, True, False, False, False] * 2
+        assert [fault.flap_down_at(n) for n in range(1, 11)] == expected
+
+    def test_no_flap_means_never_down(self):
+        assert not FaultProfile().flap_down_at(1)
+
+    def test_compose_keeps_the_flappier_schedule(self):
+        mild = FaultProfile(flap_period=10, flap_down=1)
+        harsh = FaultProfile(flap_period=4, flap_down=3)
+        combined = mild.compose(harsh)
+        assert combined.flap_period == 4
+        assert combined.flap_down == 3
+        # Equal-duty ties go to the left operand's schedule.
+        same_duty = FaultProfile(flap_period=20, flap_down=2)
+        assert mild.compose(same_duty).flap_period == 10
+
+    def test_backend_demotes_and_repromotes_in_access_order(self):
+        profile = ChaosProfile(
+            "flap", faults={"v1": FaultProfile(flap_period=3, flap_down=1)}
+        )
+        backend = ChaosBackend(profile)
+        outcomes = []
+        for _ in range(6):
+            try:
+                backend.execute(executable("v1"), DATABASE)
+                outcomes.append("ok")
+            except PermanentSourceError as exc:
+                assert exc.source == "v1"
+                outcomes.append("down")
+        # Down, back up, down again: both halves of the flap cycle.
+        assert outcomes == ["down", "ok", "ok", "down", "ok", "ok"]
+        assert backend.outages_hit == 2
+
+    def test_backend_counts_accesses_per_source(self):
+        profile = ChaosProfile(
+            "flap",
+            faults={
+                "v1": FaultProfile(flap_period=2, flap_down=1),
+                "v2": FaultProfile(flap_period=2, flap_down=1),
+            },
+        )
+        backend = ChaosBackend(profile)
+        # v1's first access goes down; v2's own counter also starts at
+        # one, so its first access goes down too — schedules are
+        # independent per source, not shared.
+        with pytest.raises(PermanentSourceError):
+            backend.execute(executable("v1"), DATABASE)
+        with pytest.raises(PermanentSourceError):
+            backend.execute(executable("v2"), DATABASE)
+        assert backend.execute(executable("v1"), DATABASE)
+        assert backend.execute(executable("v2"), DATABASE)
+
+    def test_bundled_flapping_profile_round_trips_and_recovers(self):
+        profile = bundled_profile("flapping")
+        rebuilt = ChaosProfile.from_dict(profile.as_dict())
+        assert rebuilt.as_dict() == profile.as_dict()
+        v3 = profile.profile_for("v3")
+        assert (v3.flap_period, v3.flap_down) == (5, 2)
+        v5 = profile.profile_for("v5")
+        assert (v5.flap_period, v5.flap_down) == (7, 3)
+        # Every faulted source recovers within its period.
+        for fault in (v3, v5):
+            cycle = [fault.flap_down_at(n) for n in range(1, fault.flap_period + 1)]
+            assert True in cycle and False in cycle
+
+
 class TestChaosBackend:
     def test_clean_profile_passes_through(self):
         backend = ChaosBackend(ChaosProfile("calm", faults={}))

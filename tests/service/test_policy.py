@@ -141,6 +141,68 @@ class TestRetryPolicy:
         assert elapsed < 5.0
 
 
+class TestRetryJitter:
+    """Opt-in seed-deterministic decorrelated jitter on the backoff."""
+
+    def test_zero_jitter_is_the_exact_legacy_schedule(self):
+        plain = RetryPolicy(max_attempts=5, base_s=0.1, factor=2.0, cap_s=10.0)
+        seeded = RetryPolicy(
+            max_attempts=5, base_s=0.1, factor=2.0, cap_s=10.0,
+            jitter=0.0, jitter_seed=42,
+        )
+        for attempt in range(1, 5):
+            assert seeded.delay(attempt, salt="req-1") == plain.delay(attempt)
+
+    def test_jittered_delay_stays_in_the_decorrelated_band(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_s=0.1, factor=2.0, cap_s=10.0,
+            jitter=0.5, jitter_seed=7,
+        )
+        for attempt in range(1, 6):
+            base = 0.1 * 2.0 ** (attempt - 1)
+            lo, hi = base * 0.5, min(10.0, base * 2.0)
+            for salt in ("req-a", "req-b", "req-c"):
+                delay = policy.delay(attempt, salt=salt)
+                assert lo <= delay <= hi
+
+    def test_same_seed_and_salt_reproduce_the_schedule(self):
+        def schedule():
+            policy = RetryPolicy(
+                max_attempts=4, base_s=0.05, jitter=0.3, jitter_seed=11
+            )
+            return [policy.delay(n, salt="req-x") for n in range(1, 4)]
+
+        assert schedule() == schedule()
+
+    def test_different_salts_decorrelate(self):
+        # Two requests retrying in lockstep must not thunder together.
+        policy = RetryPolicy(max_attempts=4, base_s=0.1, jitter=0.9)
+        first = [policy.delay(n, salt="req-a") for n in range(1, 4)]
+        second = [policy.delay(n, salt="req-b") for n in range(1, 4)]
+        assert first != second
+
+    def test_different_seeds_decorrelate(self):
+        one = RetryPolicy(
+            max_attempts=2, base_s=1.0, cap_s=10.0, jitter=0.9, jitter_seed=1
+        )
+        two = RetryPolicy(
+            max_attempts=2, base_s=1.0, cap_s=10.0, jitter=0.9, jitter_seed=2
+        )
+        assert one.delay(1, salt="s") != two.delay(1, salt="s")
+
+    def test_cap_still_binds_over_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=9, base_s=1.0, factor=10.0, cap_s=2.5, jitter=1.0
+        )
+        for attempt in range(3, 9):
+            assert policy.delay(attempt, salt="s") <= 2.5
+
+    @pytest.mark.parametrize("kwargs", [{"jitter": -0.1}, {"jitter": 1.5}])
+    def test_invalid_jitter_rejected(self, kwargs):
+        with pytest.raises(ServiceError):
+            RetryPolicy(**kwargs)
+
+
 class TestRequestPolicy:
     def test_defaults_are_unbounded(self):
         policy = RequestPolicy()
